@@ -1,0 +1,72 @@
+"""Figure 10 — scalability testing (tau = 3, vary graph size).
+
+Random vertex samples of 20%..100% of the DBLP and Douban stand-ins;
+MBC, MBC-Adv and MBC* on each induced subgraph.  Paper shape: all
+algorithms grow with the sample size; MBC* grows slowest and wins at
+every size.
+"""
+
+import pytest
+
+from repro.core.mbc_adv import mbc_adv
+from repro.core.mbc_baseline import mbc_baseline
+from repro.core.mbc_star import mbc_star
+from repro.core.stats import SearchStats
+
+try:
+    from ._common import DEFAULT_TAU, SCALABILITY_DATASETS, \
+        bench_graph, format_seconds, print_table, run_once, \
+        sample_vertices, timed
+except ImportError:
+    from _common import DEFAULT_TAU, SCALABILITY_DATASETS, \
+        bench_graph, format_seconds, print_table, run_once, \
+        sample_vertices, timed
+
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def figure10_rows(name: str) -> list[list[object]]:
+    graph = bench_graph(name)
+    rows = []
+    for fraction in FRACTIONS:
+        sample = sample_vertices(graph, fraction, seed=17)
+        stats_b = SearchStats()
+        baseline, t_b = timed(
+            lambda: mbc_baseline(sample, DEFAULT_TAU, stats=stats_b))
+        stats_a = SearchStats()
+        adv, t_a = timed(
+            lambda: mbc_adv(sample, DEFAULT_TAU, stats=stats_a))
+        stats_s = SearchStats()
+        star, t_s = timed(
+            lambda: mbc_star(sample, DEFAULT_TAU, stats=stats_s))
+        assert baseline.size == adv.size == star.size, (name, fraction)
+        rows.append([
+            name, f"{int(fraction * 100)}%", sample.num_edges,
+            f"{format_seconds(t_b)}/{stats_b.nodes}n",
+            f"{format_seconds(t_a)}/{stats_a.nodes}n",
+            f"{format_seconds(t_s)}/{stats_s.nodes}n",
+        ])
+    return rows
+
+
+@pytest.mark.parametrize("name", SCALABILITY_DATASETS)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig10_scalability(benchmark, name, fraction):
+    graph = bench_graph(name)
+    sample = sample_vertices(graph, fraction, seed=17)
+    run_once(benchmark, lambda: mbc_star(sample, DEFAULT_TAU))
+
+
+def main() -> None:
+    rows = []
+    for name in SCALABILITY_DATASETS:
+        rows.extend(figure10_rows(name))
+    print_table(
+        "Figure 10 — scalability (tau=3, vertex samples, "
+        "time/search-nodes)",
+        ["dataset", "sample", "|E|", "MBC", "MBC-Adv", "MBC*"],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

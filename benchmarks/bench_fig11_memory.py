@@ -1,0 +1,80 @@
+"""Figure 11 — memory consumption of MBC* and PF*.
+
+The paper measures max RSS via ``/usr/bin/time``; offline we use
+``tracemalloc`` peaks, which isolate per-algorithm allocation.  Shape
+expectation: peak memory is small and roughly linear in the number of
+edges (both algorithms are O(m)-space; only one dichromatic network is
+alive at any time).
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_star
+
+try:
+    from ._common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        print_table, run_once
+except ImportError:
+    from _common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        print_table, run_once
+
+
+def peak_memory(fn) -> int:
+    """Peak allocated bytes while running ``fn``."""
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def figure11_row(name: str) -> list[object]:
+    graph = bench_graph(name)
+    mbc_peak = peak_memory(lambda: mbc_star(graph, DEFAULT_TAU))
+    pf_peak = peak_memory(lambda: pf_star(graph))
+    return [
+        name, graph.num_edges,
+        f"{mbc_peak / 2**20:.1f}MB",
+        f"{pf_peak / 2**20:.1f}MB",
+        f"{mbc_peak / max(graph.num_edges, 1):.0f}B/edge",
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_fig11_memory(benchmark, name):
+    row = run_once(benchmark, lambda: figure11_row(name))
+    print_table(
+        f"Figure 11 row — {name}",
+        ["dataset", "|E|", "MBC* peak", "PF* peak", "MBC* per edge"],
+        [row])
+
+
+def test_memory_scales_linearly_with_edges():
+    """The Figure 11 claim: peak memory ~ linear in m.  Compare the
+    bytes-per-edge of a small and a large dataset; they should be
+    within a small constant factor."""
+    small = bench_graph("bitcoin")
+    large = bench_graph("sn2")
+    per_edge_small = peak_memory(
+        lambda: mbc_star(small, DEFAULT_TAU)) / small.num_edges
+    per_edge_large = peak_memory(
+        lambda: mbc_star(large, DEFAULT_TAU)) / large.num_edges
+    ratio = per_edge_large / per_edge_small
+    assert 0.05 < ratio < 20.0
+
+
+def main() -> None:
+    rows = [figure11_row(name) for name in ALL_DATASETS]
+    print_table(
+        "Figure 11 — memory consumption (tracemalloc peak)",
+        ["dataset", "|E|", "MBC* peak", "PF* peak", "MBC* per edge"],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

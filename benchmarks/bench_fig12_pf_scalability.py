@@ -1,0 +1,66 @@
+"""Figure 12 — polarization-factor scalability (vary graph size).
+
+Random vertex samples of 20%..100% of the DBLP and Douban stand-ins;
+PF-E, PF-BS and PF* on each induced subgraph.  Paper shape: PF* wins
+at every size and scales most gracefully.
+"""
+
+import pytest
+
+from repro.core.pf import pf_binary_search, pf_enumeration, pf_star
+from repro.core.stats import SearchStats
+
+try:
+    from ._common import SCALABILITY_DATASETS, bench_graph, \
+        format_seconds, print_table, run_once, sample_vertices, timed
+except ImportError:
+    from _common import SCALABILITY_DATASETS, bench_graph, \
+        format_seconds, print_table, run_once, sample_vertices, timed
+
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def figure12_rows(name: str) -> list[list[object]]:
+    graph = bench_graph(name)
+    rows = []
+    for fraction in FRACTIONS:
+        sample = sample_vertices(graph, fraction, seed=23)
+        s_e = SearchStats()
+        beta_e, t_e = timed(lambda: pf_enumeration(sample, stats=s_e))
+        s_bs = SearchStats()
+        beta_bs, t_bs = timed(
+            lambda: pf_binary_search(sample, stats=s_bs))
+        s_star = SearchStats()
+        beta_star, t_star = timed(lambda: pf_star(sample, stats=s_star))
+        assert beta_e == beta_bs == beta_star, (name, fraction)
+        rows.append([
+            name, f"{int(fraction * 100)}%", sample.num_edges,
+            beta_star,
+            f"{format_seconds(t_e)}/{s_e.nodes}n",
+            f"{format_seconds(t_bs)}/{s_bs.nodes}n",
+            f"{format_seconds(t_star)}/{s_star.nodes}n",
+        ])
+    return rows
+
+
+@pytest.mark.parametrize("name", SCALABILITY_DATASETS)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig12_pf_scalability(benchmark, name, fraction):
+    graph = bench_graph(name)
+    sample = sample_vertices(graph, fraction, seed=23)
+    run_once(benchmark, lambda: pf_star(sample))
+
+
+def main() -> None:
+    rows = []
+    for name in SCALABILITY_DATASETS:
+        rows.extend(figure12_rows(name))
+    print_table(
+        "Figure 12 — PF scalability (vertex samples, "
+        "time/search-nodes)",
+        ["dataset", "sample", "|E|", "beta", "PF-E", "PF-BS", "PF*"],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 7 — varying the polarization threshold tau (3..7).
+
+MBC vs MBC* on two datasets.  Paper shape: MBC gets faster as tau grows
+(EdgeReduction's pruning power strengthens) while MBC* is nearly
+insensitive to tau, and MBC* wins throughout.
+"""
+
+import pytest
+
+from repro.core.mbc_baseline import mbc_baseline
+from repro.core.mbc_star import mbc_star
+from repro.core.stats import SearchStats
+
+try:
+    from ._common import bench_graph, format_seconds, print_table, \
+        run_once, timed
+except ImportError:
+    from _common import bench_graph, format_seconds, print_table, \
+        run_once, timed
+
+DATASETS = ["douban", "dblp"]
+TAUS = [3, 4, 5, 6, 7]
+
+
+def figure7_rows(name: str) -> list[list[object]]:
+    graph = bench_graph(name)
+    rows = []
+    for tau in TAUS:
+        stats_b = SearchStats()
+        baseline, t_baseline = timed(
+            lambda: mbc_baseline(graph, tau, stats=stats_b))
+        stats_s = SearchStats()
+        star, t_star = timed(
+            lambda: mbc_star(graph, tau, stats=stats_s))
+        assert baseline.size == star.size, (name, tau)
+        rows.append([
+            name, tau, star.size,
+            f"{format_seconds(t_baseline)}/{stats_b.nodes}n",
+            f"{format_seconds(t_star)}/{stats_s.nodes}n",
+        ])
+    return rows
+
+
+@pytest.mark.parametrize("name", DATASETS)
+@pytest.mark.parametrize("tau", TAUS)
+@pytest.mark.parametrize("algorithm", ["MBC", "MBC*"])
+def test_fig7_vary_tau(benchmark, name, tau, algorithm):
+    graph = bench_graph(name)
+    if algorithm == "MBC":
+        run_once(benchmark, lambda: mbc_baseline(graph, tau))
+    else:
+        run_once(benchmark, lambda: mbc_star(graph, tau))
+
+
+def main() -> None:
+    rows = []
+    for name in DATASETS:
+        rows.extend(figure7_rows(name))
+    print_table(
+        "Figure 7 — varying tau (time/search-nodes)",
+        ["dataset", "tau", "|C*|", "MBC", "MBC*"],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

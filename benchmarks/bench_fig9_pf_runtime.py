@@ -1,0 +1,63 @@
+"""Figure 9 — running time on all graphs for the polarization factor.
+
+Four algorithms per dataset: PF-E (enumeration), PF-BS (binary search
+over MBC* feasibility probes), PF*-DOrder (PF* with the degeneracy
+ordering) and PF* (with the polarization ordering).  Paper shape:
+PF* fastest; PF-BS between; PF-E slowest; PF* at least as fast as
+PF*-DOrder.
+"""
+
+import pytest
+
+from repro.core.pf import pf_binary_search, pf_enumeration, pf_star
+from repro.core.stats import SearchStats
+
+try:
+    from ._common import ALL_DATASETS, bench_graph, format_seconds, \
+        print_table, run_once, timed
+except ImportError:
+    from _common import ALL_DATASETS, bench_graph, format_seconds, \
+        print_table, run_once, timed
+
+ALGORITHMS = {
+    "PF-E": lambda g, s: pf_enumeration(g, stats=s),
+    "PF-BS": lambda g, s: pf_binary_search(g, stats=s),
+    "PF*-DOrder": lambda g, s: pf_star(
+        g, stats=s, ordering="degeneracy"),
+    "PF*": lambda g, s: pf_star(g, stats=s),
+}
+
+
+def figure9_row(name: str) -> list[object]:
+    graph = bench_graph(name)
+    row: list[object] = [name]
+    betas = set()
+    for label, solver in ALGORITHMS.items():
+        stats = SearchStats()
+        beta, seconds = timed(lambda: solver(graph, stats))
+        betas.add(beta)
+        row.append(f"{format_seconds(seconds)}/{stats.nodes}n")
+    assert len(betas) == 1, f"solvers disagree on {name}: {betas}"
+    row.insert(1, betas.pop())
+    return row
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig9_pf_runtime(benchmark, name, algorithm):
+    graph = bench_graph(name)
+    solver = ALGORITHMS[algorithm]
+    beta = run_once(benchmark, lambda: solver(graph, SearchStats()))
+    assert beta >= 0
+
+
+def main() -> None:
+    rows = [figure9_row(name) for name in ALL_DATASETS]
+    print_table(
+        "Figure 9 — polarization factor runtime (time/search-nodes)",
+        ["dataset", "beta", *ALGORITHMS],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

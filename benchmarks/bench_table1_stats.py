@@ -1,0 +1,62 @@
+"""Table I — statistics of datasets.
+
+Regenerates, for every stand-in dataset: |V|, |E|, the negative-edge
+ratio, the maximum balanced clique size ``|C*|`` at ``tau = 3``, and
+the polarization factor ``beta(G)``, next to the paper's reported
+values for the corresponding real dataset.
+"""
+
+import pytest
+
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_star
+from repro.datasets.registry import load_spec
+
+try:
+    from ._common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        print_table, run_once
+except ImportError:  # standalone execution
+    from _common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        print_table, run_once
+
+
+def table1_row(name: str) -> list[object]:
+    graph = bench_graph(name)
+    spec = load_spec(name)
+    clique = mbc_star(graph, DEFAULT_TAU)
+    beta = pf_star(graph)
+    paper_n, paper_m, paper_neg, paper_c, paper_beta = \
+        spec.paper_reference
+    return [
+        name, spec.category,
+        graph.num_vertices, graph.num_edges,
+        f"{graph.negative_ratio:.2f}",
+        clique.size, beta,
+        f"{paper_n}/{paper_m}", f"{paper_neg:.2f}",
+        paper_c, paper_beta,
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_table1_stats(benchmark, name):
+    row = run_once(benchmark, lambda: table1_row(name))
+    print_table(
+        f"Table I row — {name}",
+        ["dataset", "category", "|V|", "|E|", "|E-|/|E|",
+         "|C*|(t=3)", "beta", "paper n/m", "paper neg",
+         "paper |C*|", "paper beta"],
+        [row])
+
+
+def main() -> None:
+    rows = [table1_row(name) for name in ALL_DATASETS]
+    print_table(
+        "Table I — statistics of datasets (stand-ins vs paper)",
+        ["dataset", "category", "|V|", "|E|", "|E-|/|E|",
+         "|C*|(t=3)", "beta", "paper n/m", "paper neg",
+         "paper |C*|", "paper beta"],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

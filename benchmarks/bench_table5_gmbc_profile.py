@@ -1,0 +1,60 @@
+"""Table V — distinct maximum balanced cliques over all tau.
+
+Per dataset: ``|C| = |{C^0, ..., C^beta}|`` (the number of *distinct*
+maxima) and the size range, from the skewed ``C^0`` to the balanced
+``C^beta``, printed as ``size<l|r>``.  Paper shape: |C| is much
+smaller than beta + 1; C^0 is highly skewed while C^beta is
+well balanced.
+"""
+
+import pytest
+
+from repro.core.gmbc import distinct_cliques_profile, gmbc_star
+
+try:
+    from ._common import ALL_DATASETS, bench_graph, print_table, \
+        run_once
+except ImportError:
+    from _common import ALL_DATASETS, bench_graph, print_table, \
+        run_once
+
+
+def table5_row(name: str) -> list[object]:
+    graph = bench_graph(name)
+    results = gmbc_star(graph)
+    profile = distinct_cliques_profile(results)
+    size0, small0, large0 = profile["largest"]
+    size_b, small_b, large_b = profile["most_polarized"]
+    return [
+        name, profile["beta"], profile["distinct"],
+        f"{size_b}<{small_b}|{large_b}>",
+        f"{size0}<{small0}|{large0}>",
+    ]
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_table5_profile(benchmark, name):
+    row = run_once(benchmark, lambda: table5_row(name))
+    print_table(
+        f"Table V row — {name}",
+        ["dataset", "beta", "|C|", "C^beta", "C^0"],
+        [row])
+    # Shape checks from the paper: C^0 at least as large as C^beta,
+    # and the number of distinct cliques is at most beta + 1.
+    graph = bench_graph(name)
+    results = gmbc_star(graph)
+    profile = distinct_cliques_profile(results)
+    assert profile["distinct"] <= profile["beta"] + 1
+    assert profile["largest"][0] >= profile["most_polarized"][0]
+
+
+def main() -> None:
+    rows = [table5_row(name) for name in ALL_DATASETS]
+    print_table(
+        "Table V — distinct maxima across all tau (size<l|r>)",
+        ["dataset", "beta", "|C|", "C^beta", "C^0"],
+        rows)
+
+
+if __name__ == "__main__":
+    main()

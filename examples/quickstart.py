@@ -1,0 +1,43 @@
+"""Quickstart: build a signed graph, find its maximum balanced clique.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the three core entry points — ``mbc_star`` (maximum balanced
+clique for a threshold), ``pf_star`` (polarization factor), and
+``gmbc_star`` (a maximum for every threshold).
+"""
+
+from repro import SignedGraph, gmbc_star, mbc_star, pf_star
+
+
+def main() -> None:
+    # A toy signed graph in the spirit of the paper's Figure 2:
+    # vertices 0..7; {2, 3, 6, 7} and {4, 5} form the largest balanced
+    # clique for tau = 2, while {0, 1} vs {2, 3} is a smaller one.
+    graph = SignedGraph.from_edges(
+        8,
+        positive_edges=[(0, 1), (2, 3), (4, 5), (6, 7), (2, 6), (3, 7),
+                        (2, 7), (3, 6)],
+        negative_edges=[(0, 2), (0, 3), (1, 2), (1, 3), (2, 4), (2, 5),
+                        (3, 4), (3, 5), (6, 4), (6, 5), (7, 4), (7, 5)])
+
+    print(f"graph: {graph}")
+
+    # 1. Maximum balanced clique for a user-given threshold.
+    clique = mbc_star(graph, tau=2)
+    print(f"maximum balanced clique (tau=2): {clique.describe()}")
+
+    # 2. The polarization factor: the largest satisfiable threshold.
+    beta = pf_star(graph)
+    print(f"polarization factor beta(G) = {beta}")
+
+    # 3. One maximum balanced clique per threshold, without choosing.
+    print("maximum balanced clique per tau:")
+    for tau, result in enumerate(gmbc_star(graph)):
+        print(f"  tau={tau}: {result.describe()}")
+
+
+if __name__ == "__main__":
+    main()

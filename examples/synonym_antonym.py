@@ -1,0 +1,43 @@
+"""Synonym/antonym group discovery on an AdjWordNet-style graph.
+
+The paper's third motivating application: in a signed word graph
+(positive = synonym, negative = antonym), a maximum balanced clique is
+a pair of significant synonym groups that are antonymous with each
+other — the Table III case study.
+
+Run with::
+
+    python examples/synonym_antonym.py
+"""
+
+from repro import enumerate_maximal_balanced_cliques, mbc_star, pf_star
+from repro.datasets import wordnet_case_study
+
+
+def main() -> None:
+    graph = wordnet_case_study()
+    print(f"adjective graph: {graph} "
+          f"({graph.num_positive_edges} synonym edges, "
+          f"{graph.num_negative_edges} antonym edges)")
+
+    beta = pf_star(graph)
+    clique = mbc_star(graph, tau=beta)
+    print(f"\nmaximum balanced clique at tau = beta = {beta} "
+          f"({clique.size} words):")
+    print("  synonym group A:",
+          ", ".join(sorted(graph.label(v) for v in clique.left)))
+    print("  synonym group B:",
+          ", ".join(sorted(graph.label(v) for v in clique.right)))
+
+    # The paper contrasts the single maximum with full enumeration:
+    # MBCEnum may return heaps of overlapping maximal cliques.
+    maximal = enumerate_maximal_balanced_cliques(graph, tau=2,
+                                                 limit=1000)
+    print(f"\nfor comparison, MBCEnum finds {len(maximal)} maximal "
+          f"balanced cliques at tau=2; the maximum is one of them:")
+    sizes = sorted((c.size for c in maximal), reverse=True)
+    print(f"  size distribution (top 10): {sizes[:10]}")
+
+
+if __name__ == "__main__":
+    main()

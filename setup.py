@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build their
+metadata wheel offline.  This shim lets ``python setup.py develop``
+provide the equivalent editable install; all project metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

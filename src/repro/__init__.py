@@ -1,0 +1,76 @@
+"""repro — maximum structural balanced cliques in signed graphs.
+
+A faithful, fully self-contained reproduction of
+
+    Kai Yao, Lijun Chang, Lu Qin.
+    "Computing Maximum Structural Balanced Cliques in Signed Graphs."
+    ICDE 2022.
+
+Public API highlights
+---------------------
+* :class:`repro.signed.SignedGraph` — the signed-graph substrate.
+* :func:`repro.core.mbc_star` — MBC*, the paper's maximum balanced
+  clique algorithm (Algorithm 2).
+* :func:`repro.core.pf_star` — PF*, the polarization factor algorithm
+  (Algorithm 4).
+* :func:`repro.core.gmbc_star` — gMBC*, a maximum balanced clique for
+  every threshold (Algorithm 6).
+* :mod:`repro.datasets` — deterministic stand-ins for the paper's 14
+  evaluation datasets.
+* :mod:`repro.metrics` — Polarity / SBR / HAM quality metrics.
+* :mod:`repro.baselines` — the PolarSeeds-style comparison baseline.
+
+Quickstart
+----------
+>>> from repro import SignedGraph, mbc_star
+>>> g = SignedGraph.from_edges(
+...     4,
+...     positive_edges=[(0, 1), (2, 3)],
+...     negative_edges=[(0, 2), (0, 3), (1, 2), (1, 3)])
+>>> clique = mbc_star(g, tau=2)
+>>> clique.size, clique.polarization
+(4, 2)
+"""
+
+from .signed import NEGATIVE, POSITIVE, SignedGraph
+from .core import (
+    EMPTY_RESULT,
+    BalancedClique,
+    SearchStats,
+    enumerate_maximal_balanced_cliques,
+    gmbc_naive,
+    gmbc_star,
+    is_balanced_clique,
+    mbc_adv,
+    mbc_baseline,
+    mbc_heuristic,
+    mbc_star,
+    pf_binary_search,
+    pf_enumeration,
+    pf_star,
+    split_sides,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SignedGraph",
+    "POSITIVE",
+    "NEGATIVE",
+    "BalancedClique",
+    "EMPTY_RESULT",
+    "SearchStats",
+    "is_balanced_clique",
+    "split_sides",
+    "mbc_heuristic",
+    "mbc_baseline",
+    "mbc_adv",
+    "mbc_star",
+    "enumerate_maximal_balanced_cliques",
+    "pf_enumeration",
+    "pf_binary_search",
+    "pf_star",
+    "gmbc_naive",
+    "gmbc_star",
+    "__version__",
+]

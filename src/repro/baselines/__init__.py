@@ -1,0 +1,13 @@
+"""Comparison baselines external to the paper's own algorithms."""
+
+from .polarseeds import PolarizedCommunity, good_seed_pairs, polar_seeds
+from .balanced_subgraph import BalancedSubgraph, \
+    eigensign_balanced_subgraph
+
+__all__ = [
+    "polar_seeds",
+    "good_seed_pairs",
+    "PolarizedCommunity",
+    "eigensign_balanced_subgraph",
+    "BalancedSubgraph",
+]

@@ -1,0 +1,132 @@
+"""Maximum balanced subgraph heuristic (related work [8], [33]).
+
+The paper's Related Work contrasts balanced *cliques* with the maximum
+balanced *subgraph* problem: the largest vertex-induced subgraph that
+is structurally balanced (no completeness requirement).  The problem is
+NP-hard; Ordozgoiti et al. [8] attack it with a spectral relaxation
+("eigensign") followed by greedy repair.  This module implements that
+recipe so the library can reproduce the comparison the Related Work
+discusses — balanced subgraphs are larger but lose the guarantees a
+clique gives (e.g. staying balanced when absent edges appear).
+
+Algorithm:
+
+1. power-iterate the signed adjacency matrix to get a dominant
+   eigenvector ``x``; ``sign(x_v)`` proposes the camp of ``v`` and
+   ``|x_v|`` its confidence;
+2. keep vertices above a confidence sweep threshold;
+3. greedily delete the vertex incident to the most frustrated edges
+   until the induced subgraph is balanced (exact check via
+   :func:`repro.signed.balance.harary_partition`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..signed.balance import harary_partition
+from ..signed.graph import SignedGraph
+
+__all__ = ["eigensign_balanced_subgraph", "BalancedSubgraph"]
+
+
+class BalancedSubgraph:
+    """Result: a vertex set whose induced subgraph is balanced."""
+
+    def __init__(self, left: set[int], right: set[int],
+                 edges_kept: int):
+        self.left = left
+        self.right = right
+        self.edges_kept = edges_kept
+
+    @property
+    def vertices(self) -> set[int]:
+        return self.left | self.right
+
+    @property
+    def size(self) -> int:
+        return len(self.left) + len(self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BalancedSubgraph(|L|={len(self.left)}, "
+                f"|R|={len(self.right)}, edges={self.edges_kept})")
+
+
+def eigensign_balanced_subgraph(
+    graph: SignedGraph,
+    iterations: int = 60,
+    keep_fraction: float = 0.8,
+) -> BalancedSubgraph:
+    """Eigensign + greedy repair heuristic for the maximum balanced
+    subgraph.
+
+    Parameters
+    ----------
+    graph:
+        The signed graph.
+    iterations:
+        Power-iteration steps for the dominant eigenvector.
+    keep_fraction:
+        Fraction of vertices (by eigenvector confidence) fed to the
+        greedy repair stage.
+
+    Returns
+    -------
+    BalancedSubgraph
+        A (heuristically large) balanced induced subgraph with its
+        camp split.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return BalancedSubgraph(set(), set(), 0)
+
+    # Stage 1: dominant eigenvector of the signed adjacency, shifted to
+    # dominate negative eigenvalues.
+    x = [1.0 if v % 2 == 0 else -1.0 for v in range(n)]
+    shift = max((graph.degree(v) for v in graph.vertices()),
+                default=0) + 1.0
+    for _ in range(iterations):
+        nxt = [shift * value for value in x]
+        for v in graph.vertices():
+            for u in graph.pos_neighbors(v):
+                nxt[v] += x[u]
+            for u in graph.neg_neighbors(v):
+                nxt[v] -= x[u]
+        norm = math.sqrt(sum(value * value for value in nxt))
+        if norm == 0:
+            break
+        x = [value / norm for value in nxt]
+
+    # Stage 2: keep the most confident vertices.
+    ranked = sorted(graph.vertices(), key=lambda v: abs(x[v]),
+                    reverse=True)
+    kept = set(ranked[:max(int(n * keep_fraction), 1)])
+
+    # Stage 3: greedy repair — delete the most frustrated vertex until
+    # the induced subgraph is balanced w.r.t. *some* partition.
+    camp = {v: (0 if x[v] >= 0 else 1) for v in kept}
+
+    def frustrated_degree(v: int) -> int:
+        count = 0
+        for u in graph.pos_neighbors(v):
+            if u in kept and camp[u] != camp[v]:
+                count += 1
+        for u in graph.neg_neighbors(v):
+            if u in kept and camp[u] == camp[v]:
+                count += 1
+        return count
+
+    while kept:
+        worst = max(kept, key=frustrated_degree)
+        if frustrated_degree(worst) == 0:
+            break
+        kept.discard(worst)
+
+    # The eigenvector camps are now violation-free, but re-derive the
+    # canonical witness (and final edge count) from the exact check.
+    sub, mapping = graph.subgraph(kept)
+    partition = harary_partition(sub)
+    assert partition is not None, "greedy repair left frustration"
+    left = {mapping[v] for v in partition[0]}
+    right = {mapping[v] for v in partition[1]}
+    return BalancedSubgraph(left, right, sub.num_edges)

@@ -1,0 +1,171 @@
+"""PolarSeeds-style local spectral polarized-community search.
+
+Simulates the comparison baseline of Figure 5 — PolarSeeds by Xiao,
+Ordozgoiti and Gionis [15] — whose reference implementation is not
+available offline.  The approach implemented here follows the same
+recipe the paper describes:
+
+1. take a *seed pair* ``(u, v)`` joined by a negative edge where both
+   endpoints have positive degree above a threshold ``t``;
+2. extract a local subgraph around the seeds (bounded BFS ball);
+3. compute the dominant eigenvector of the signed adjacency matrix by
+   power iteration (shifted to dominate negative eigenvalues), seeded
+   with ``+1`` / ``-1`` at the two seeds — for a polarized structure
+   this eigenvector separates the two camps by sign;
+4. sweep prefixes of vertices ordered by ``|x_v|``, split each prefix
+   by ``sign(x_v)``, and keep the split maximizing Polarity.
+
+This exercises the exact comparison of Figure 5: a spectral community
+admits disagreeing and escaping edges, so the balanced clique found by
+MBC* scores a higher Polarity (and always has ``HAM = 1``) while the
+spectral community wins on SBR.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+
+from ..metrics.polarity import polarity
+from ..signed.graph import SignedGraph
+
+__all__ = ["polar_seeds", "good_seed_pairs", "PolarizedCommunity"]
+
+
+class PolarizedCommunity:
+    """Result of a PolarSeeds run: two opposing vertex groups."""
+
+    def __init__(self, group1: set[int], group2: set[int], score: float):
+        self.group1 = group1
+        self.group2 = group2
+        self.score = score
+
+    @property
+    def size(self) -> int:
+        return len(self.group1) + len(self.group2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PolarizedCommunity(|C1|={len(self.group1)}, "
+                f"|C2|={len(self.group2)}, polarity={self.score:.3f})")
+
+
+def good_seed_pairs(
+    graph: SignedGraph,
+    t: int = 3,
+    count: int = 100,
+    seed: int | None = None,
+) -> list[tuple[int, int]]:
+    """Sample seed pairs the way the paper does for Figure 5.
+
+    ``(u, v)`` qualifies when the edge is negative and both endpoints
+    have positive degree greater than ``t``.  Returns up to ``count``
+    distinct pairs (all qualifying pairs if fewer exist).
+    """
+    pairs = [
+        (u, v)
+        for u, v, sign in graph.edges()
+        if sign == -1
+        and graph.pos_degree(u) > t
+        and graph.pos_degree(v) > t
+    ]
+    rng = random.Random(seed)
+    if len(pairs) <= count:
+        return pairs
+    return rng.sample(pairs, count)
+
+
+def polar_seeds(
+    graph: SignedGraph,
+    seed_u: int,
+    seed_v: int,
+    max_subgraph: int = 400,
+    iterations: int = 60,
+    epsilon: float = 1e-3,
+) -> PolarizedCommunity:
+    """Find a polarized community around a negative-edge seed pair.
+
+    Parameters
+    ----------
+    graph:
+        The signed graph.
+    seed_u, seed_v:
+        The seed pair (ideally joined by a negative edge).
+    max_subgraph:
+        BFS ball size cap for the local subgraph.
+    iterations:
+        Power-iteration steps.
+    epsilon:
+        Convergence threshold on the iterate change (the paper's
+        default ``1e-3``).
+    """
+    members = _local_ball(graph, (seed_u, seed_v), max_subgraph)
+    order = sorted(members)
+    index = {v: i for i, v in enumerate(order)}
+    x = [0.0] * len(order)
+    x[index[seed_u]] = 1.0
+    x[index[seed_v]] = -1.0
+
+    # Shift by the max degree so the dominant eigenvalue of A + dI is
+    # the largest (most positive) eigenvalue of A.
+    shift = max((graph.degree(v) for v in order), default=0) + 1.0
+    for _ in range(iterations):
+        nxt = [shift * value for value in x]
+        for v in order:
+            i = index[v]
+            for u in graph.pos_neighbors(v):
+                j = index.get(u)
+                if j is not None:
+                    nxt[i] += x[j]
+            for u in graph.neg_neighbors(v):
+                j = index.get(u)
+                if j is not None:
+                    nxt[i] -= x[j]
+        norm = math.sqrt(sum(value * value for value in nxt))
+        if norm == 0:
+            break
+        nxt = [value / norm for value in nxt]
+        delta = max(abs(a - b) for a, b in zip(nxt, x))
+        x = nxt
+        if delta < epsilon:
+            break
+
+    # Orient the eigenvector so the u-seed is on the positive side.
+    if x[index[seed_u]] < 0:
+        x = [-value for value in x]
+
+    ranked = sorted(order, key=lambda v: abs(x[index[v]]), reverse=True)
+    best = PolarizedCommunity({seed_u}, {seed_v}, polarity(
+        graph, {seed_u}, {seed_v}))
+    group1: set[int] = set()
+    group2: set[int] = set()
+    for v in ranked:
+        if x[index[v]] >= 0:
+            group1.add(v)
+        else:
+            group2.add(v)
+        if not group1 or not group2:
+            continue
+        score = polarity(graph, group1, group2)
+        if score > best.score:
+            best = PolarizedCommunity(set(group1), set(group2), score)
+    return best
+
+
+def _local_ball(
+    graph: SignedGraph,
+    seeds: tuple[int, ...],
+    max_size: int,
+) -> set[int]:
+    """BFS ball around the seeds, capped at ``max_size`` vertices."""
+    members: set[int] = set(seeds)
+    queue = deque(seeds)
+    while queue and len(members) < max_size:
+        v = queue.popleft()
+        for u in sorted(graph.neighbors(v)):
+            if u not in members:
+                members.add(u)
+                queue.append(u)
+                if len(members) >= max_size:
+                    break
+    return members

@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Installed as ``repro`` (also ``python -m repro``).  Subcommands:
+
+* ``repro mbc GRAPH --tau 3`` — maximum balanced clique;
+* ``repro pf GRAPH`` — polarization factor;
+* ``repro gmbc GRAPH`` — a maximum balanced clique for every tau;
+* ``repro stats GRAPH`` — dataset statistics (Table I columns);
+* ``repro generate NAME OUT`` — write a stand-in dataset to a file.
+
+``GRAPH`` is either a path to an edge-list file (``u v sign`` lines) or
+``dataset:NAME`` to use a built-in stand-in (e.g. ``dataset:douban``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .core.gmbc import distinct_cliques_profile, gmbc_naive, gmbc_star
+from .core.mbc_baseline import mbc_baseline
+from .core.mbc_star import mbc_star
+from .core.pf import pf_binary_search, pf_enumeration, pf_star
+from .core.stats import SearchStats
+from .datasets.registry import dataset_names, load
+from .signed.graph import SignedGraph
+from .signed.io import load_signed_graph, save_signed_graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maximum structural balanced cliques in signed "
+                    "graphs (ICDE 2022 reproduction).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mbc = sub.add_parser("mbc", help="maximum balanced clique")
+    mbc.add_argument("graph", help="edge-list path or dataset:NAME")
+    mbc.add_argument("--tau", type=int, default=3,
+                     help="polarization constraint (default 3)")
+    mbc.add_argument(
+        "--algorithm", choices=["star", "baseline"], default="star",
+        help="solver: MBC* (default) or the enumeration baseline")
+
+    pf = sub.add_parser("pf", help="polarization factor")
+    pf.add_argument("graph", help="edge-list path or dataset:NAME")
+    pf.add_argument(
+        "--algorithm", choices=["star", "binary-search", "enumeration"],
+        default="star", help="solver (default PF*)")
+
+    gmbc = sub.add_parser(
+        "gmbc", help="maximum balanced clique for every tau")
+    gmbc.add_argument("graph", help="edge-list path or dataset:NAME")
+    gmbc.add_argument(
+        "--algorithm", choices=["star", "naive"], default="star")
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table I)")
+    stats.add_argument("graph", help="edge-list path or dataset:NAME")
+    stats.add_argument("--tau", type=int, default=3)
+
+    gen = sub.add_parser("generate", help="write a stand-in dataset")
+    gen.add_argument("name", choices=dataset_names())
+    gen.add_argument("output", help="output edge-list path")
+    gen.add_argument("--scale", type=float, default=1.0)
+
+    enum = sub.add_parser(
+        "enum", help="enumerate maximal balanced cliques (MBCEnum)")
+    enum.add_argument("graph", help="edge-list path or dataset:NAME")
+    enum.add_argument("--tau", type=int, default=0)
+    enum.add_argument("--limit", type=int, default=1000,
+                      help="stop after this many cliques")
+
+    balance = sub.add_parser(
+        "balance",
+        help="global structural balance check (Harary) + frustration")
+    balance.add_argument("graph", help="edge-list path or dataset:NAME")
+
+    return parser
+
+
+def _load_graph(token: str) -> SignedGraph:
+    if token.startswith("dataset:"):
+        return load(token.split(":", 1)[1])
+    return load_signed_graph(token)
+
+
+def _cmd_mbc(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    stats = SearchStats()
+    started = time.perf_counter()
+    if args.algorithm == "star":
+        clique = mbc_star(graph, args.tau, stats=stats)
+    else:
+        clique = mbc_baseline(graph, args.tau, stats=stats)
+    elapsed = time.perf_counter() - started
+    if clique.is_empty:
+        print(f"no balanced clique satisfies tau={args.tau}")
+    else:
+        print(clique.describe(graph))
+    print(f"time: {elapsed:.3f}s  nodes: {stats.nodes}  "
+          f"instances: {stats.instances}")
+    return 0
+
+
+def _cmd_pf(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    started = time.perf_counter()
+    if args.algorithm == "star":
+        beta = pf_star(graph)
+    elif args.algorithm == "binary-search":
+        beta = pf_binary_search(graph)
+    else:
+        beta = pf_enumeration(graph)
+    elapsed = time.perf_counter() - started
+    print(f"polarization factor beta(G) = {beta}")
+    print(f"time: {elapsed:.3f}s")
+    return 0
+
+
+def _cmd_gmbc(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    started = time.perf_counter()
+    if args.algorithm == "star":
+        results = gmbc_star(graph)
+    else:
+        results = gmbc_naive(graph)
+    elapsed = time.perf_counter() - started
+    for tau, clique in enumerate(results):
+        print(f"tau={tau:3d}  {clique.describe(graph)}")
+    profile = distinct_cliques_profile(results)
+    print(f"distinct cliques: {profile['distinct']}  "
+          f"beta: {profile['beta']}  time: {elapsed:.3f}s")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    clique = mbc_star(graph, args.tau)
+    beta = pf_star(graph)
+    print(f"|V| = {graph.num_vertices}")
+    print(f"|E| = {graph.num_edges}")
+    print(f"|E-|/|E| = {graph.negative_ratio:.2f}")
+    print(f"|C*| (tau={args.tau}) = {clique.size}")
+    print(f"beta(G) = {beta}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load(args.name, scale=args.scale)
+    save_signed_graph(graph, args.output)
+    print(f"wrote {args.output}: n={graph.num_vertices} "
+          f"m={graph.num_edges}")
+    return 0
+
+
+def _cmd_enum(args: argparse.Namespace) -> int:
+    from .core.mbc_baseline import enumerate_maximal_balanced_cliques
+
+    graph = _load_graph(args.graph)
+    cliques = enumerate_maximal_balanced_cliques(
+        graph, tau=args.tau, limit=args.limit)
+    cliques.sort(key=lambda c: c.size, reverse=True)
+    for clique in cliques:
+        print(clique.describe(graph))
+    capped = " (limit reached)" if len(cliques) >= args.limit else ""
+    print(f"{len(cliques)} maximal balanced cliques with "
+          f"tau={args.tau}{capped}")
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from .signed.balance import frustration_partition_local_search, \
+        harary_partition
+
+    graph = _load_graph(args.graph)
+    partition = harary_partition(graph)
+    if partition is not None:
+        left, right = partition
+        print("structurally balanced: yes")
+        print(f"camps: {len(left)} / {len(right)} vertices")
+    else:
+        print("structurally balanced: no")
+        _left, _right, frustration = \
+            frustration_partition_local_search(graph)
+        print(f"local-search frustration upper bound: {frustration} "
+              f"edges (of {graph.num_edges})")
+    return 0
+
+
+_COMMANDS = {
+    "mbc": _cmd_mbc,
+    "pf": _cmd_pf,
+    "gmbc": _cmd_gmbc,
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "enum": _cmd_enum,
+    "balance": _cmd_balance,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core algorithms of the paper: MBC, MBC-Adv, MBC*, PF-E/BS/*, gMBC."""
+
+from .balance import is_balanced_clique, is_clique, split_sides
+from .result import EMPTY_RESULT, BalancedClique
+from .stats import SearchStats
+from .reductions import edge_reduction, polar_core_numbers, \
+    polar_core_vertices, polarization_order, polarization_upper_bound, \
+    vertex_reduction
+from .heuristic import mbc_heuristic
+from .mbc_baseline import enumerate_maximal_balanced_cliques, mbc_baseline
+from .mbc_adv import mbc_adv
+from .mbc_star import mbc_star
+from .pf import pf_binary_search, pf_enumeration, pf_star
+from .gmbc import distinct_cliques_profile, gmbc_naive, gmbc_star
+from .related import is_alpha_k_clique, maximum_alpha_k_clique, \
+    maximum_trusted_clique
+from .bruteforce import brute_force_maximum_balanced_clique, \
+    brute_force_polarization_factor, enumerate_balanced_cliques, \
+    enumerate_cliques
+
+__all__ = [
+    "BalancedClique",
+    "EMPTY_RESULT",
+    "SearchStats",
+    "is_balanced_clique",
+    "is_clique",
+    "split_sides",
+    "vertex_reduction",
+    "edge_reduction",
+    "polar_core_numbers",
+    "polar_core_vertices",
+    "polarization_order",
+    "polarization_upper_bound",
+    "mbc_heuristic",
+    "mbc_baseline",
+    "enumerate_maximal_balanced_cliques",
+    "mbc_adv",
+    "mbc_star",
+    "pf_enumeration",
+    "pf_binary_search",
+    "pf_star",
+    "gmbc_naive",
+    "gmbc_star",
+    "distinct_cliques_profile",
+    "brute_force_maximum_balanced_clique",
+    "brute_force_polarization_factor",
+    "enumerate_balanced_cliques",
+    "enumerate_cliques",
+    "maximum_trusted_clique",
+    "maximum_alpha_k_clique",
+    "is_alpha_k_clique",
+]

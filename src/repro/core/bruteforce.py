@@ -1,0 +1,76 @@
+"""Exhaustive reference oracles (test ground truth).
+
+Deliberately simple and independent of the optimized solvers: cliques
+are enumerated by plain recursion over the unsigned view, and balance
+is decided by :func:`repro.core.balance.split_sides` on each candidate.
+Exponential — use on small graphs only (property tests keep
+``n <= ~14``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..signed.graph import SignedGraph
+from .balance import split_sides
+from .result import EMPTY_RESULT, BalancedClique
+
+__all__ = [
+    "enumerate_cliques",
+    "enumerate_balanced_cliques",
+    "brute_force_maximum_balanced_clique",
+    "brute_force_polarization_factor",
+]
+
+
+def enumerate_cliques(graph: SignedGraph) -> Iterator[frozenset[int]]:
+    """Yield every non-empty clique of the unsigned view of ``graph``."""
+    adjacency = {
+        v: graph.pos_neighbors(v) | graph.neg_neighbors(v)
+        for v in graph.vertices()
+    }
+
+    def extend(clique: list[int], candidates: list[int]) \
+            -> Iterator[frozenset[int]]:
+        for index, v in enumerate(candidates):
+            new_clique = clique + [v]
+            yield frozenset(new_clique)
+            narrowed = [u for u in candidates[index + 1:]
+                        if u in adjacency[v]]
+            yield from extend(new_clique, narrowed)
+
+    yield from extend([], list(graph.vertices()))
+
+
+def enumerate_balanced_cliques(
+    graph: SignedGraph, tau: int = 0
+) -> Iterator[BalancedClique]:
+    """Yield every balanced clique whose sides both have ``>= tau``
+    vertices (not only maximal ones)."""
+    for clique in enumerate_cliques(graph):
+        sides = split_sides(graph, clique)
+        if sides is None:
+            continue
+        left, right = sides
+        if min(len(left), len(right)) >= tau:
+            yield BalancedClique.from_sides(left, right)
+
+
+def brute_force_maximum_balanced_clique(
+    graph: SignedGraph, tau: int
+) -> BalancedClique:
+    """Ground-truth maximum balanced clique satisfying ``tau``."""
+    best = EMPTY_RESULT
+    for clique in enumerate_balanced_cliques(graph, tau):
+        if clique.size > best.size:
+            best = clique
+    return best
+
+
+def brute_force_polarization_factor(graph: SignedGraph) -> int:
+    """Ground-truth ``beta(G)``."""
+    best = 0
+    for clique in enumerate_balanced_cliques(graph, 0):
+        if clique.polarization > best:
+            best = clique.polarization
+    return best

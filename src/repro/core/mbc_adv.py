@@ -1,0 +1,159 @@
+"""MBC-Adv — the naive-strategy baseline of Figure 8.
+
+Applies the *unsigned* pruning toolbox (degree-based candidate
+reduction and greedy-colouring upper bounds, ignoring edge signs and
+the structural-balance constraint) directly inside the two-sided
+enumeration of MBC, without the paper's dichromatic transformation.
+The paper uses this variant to show that the transformation itself —
+not merely borrowing unsigned pruning — is what delivers the speedup:
+signs are abundant, so sign-blind bounds are loose (Figure 3's
+6-vertex example colours with 6 colours although the balanced clique
+has only 3 vertices).
+"""
+
+from __future__ import annotations
+
+from ..signed.graph import SignedGraph
+from ..unsigned.coloring import coloring_upper_bound
+from ..unsigned.cores import k_core_subset
+from ..unsigned.graph import UnsignedGraph
+from .heuristic import mbc_heuristic
+from .reductions import vertex_reduction
+from .result import EMPTY_RESULT, BalancedClique
+from .stats import SearchStats
+
+__all__ = ["mbc_adv"]
+
+
+def mbc_adv(
+    graph: SignedGraph,
+    tau: int,
+    stats: SearchStats | None = None,
+    node_limit: int | None = None,
+) -> BalancedClique:
+    """Maximum balanced clique via sign-blind pruning (``MBC-Adv``).
+
+    Same contract as :func:`repro.core.mbc_star.mbc_star`; exists to
+    reproduce the Figure 8 comparison.
+    """
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    alive = vertex_reduction(graph, tau)
+    working, mapping = graph.subgraph(alive)
+
+    best = mbc_heuristic(working, tau)
+    if stats is not None:
+        stats.heuristic_size = best.size
+
+    unsigned = UnsignedGraph.from_signed(working)
+    required = max(best.size + 1, 2 * tau)
+    core_alive = k_core_subset(unsigned, required - 1, unsigned.vertices())
+
+    search = _AdvancedSearch(working, unsigned, tau, best, stats,
+                             node_limit)
+    search.run(core_alive)
+    best = search.best
+    if best.is_empty:
+        return EMPTY_RESULT
+    return BalancedClique.from_sides(
+        {mapping[v] for v in best.left},
+        {mapping[v] for v in best.right})
+
+
+class _AdvancedSearch:
+    """Two-sided BK with unsigned degree + colouring pruning."""
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        unsigned: UnsignedGraph,
+        tau: int,
+        initial: BalancedClique,
+        stats: SearchStats | None,
+        node_limit: int | None,
+    ):
+        self.graph = graph
+        self.unsigned = unsigned
+        self.tau = tau
+        self.best = initial
+        self.stats = stats
+        self.node_limit = node_limit
+        self.nodes = 0
+
+    def run(self, vertices: set[int]) -> None:
+        self._enum(set(), set(), set(vertices), set(vertices))
+
+    def _required(self) -> int:
+        """Minimum acceptable total clique size."""
+        return max(self.best.size + 1, 2 * self.tau)
+
+    def _enum(
+        self,
+        c_left: set[int],
+        c_right: set[int],
+        p_left: set[int],
+        p_right: set[int],
+    ) -> None:
+        self.nodes += 1
+        if self.stats is not None:
+            self.stats.nodes += 1
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            raise RuntimeError(
+                f"MBC-Adv exceeded node limit {self.node_limit}")
+        tau = self.tau
+        size = len(c_left) + len(c_right)
+        if (len(c_left) >= tau and len(c_right) >= tau
+                and size >= self._required()):
+            self.best = BalancedClique.from_sides(c_left, c_right)
+
+        # Degree-based pruning, signs ignored: survivors must keep
+        # enough unsigned neighbours among the candidates.
+        candidates = p_left | p_right
+        need = self._required() - size - 1
+        if need > 0:
+            survivors = k_core_subset(self.unsigned, need, candidates)
+            if len(survivors) < len(candidates):
+                p_left = p_left & survivors
+                p_right = p_right & survivors
+                candidates = survivors
+
+        while p_left or p_right:
+            if len(c_left) + len(p_left) < tau:
+                return
+            if len(c_right) + len(p_right) < tau:
+                return
+            remaining = self._required() - size
+            if len(p_left | p_right) < remaining:
+                return
+            # Colouring-based pruning, signs ignored.
+            if coloring_upper_bound(
+                    self.unsigned, p_left | p_right) < remaining:
+                return
+
+            v, to_left = self._pick(c_left, c_right, p_left, p_right)
+            graph = self.graph
+            if to_left:
+                self._enum(
+                    c_left | {v}, c_right,
+                    graph.pos_neighbors(v) & p_left,
+                    graph.neg_neighbors(v) & p_right)
+            else:
+                self._enum(
+                    c_left, c_right | {v},
+                    graph.neg_neighbors(v) & p_left,
+                    graph.pos_neighbors(v) & p_right)
+            p_left.discard(v)
+            p_right.discard(v)
+
+    def _pick(
+        self,
+        c_left: set[int],
+        c_right: set[int],
+        p_left: set[int],
+        p_right: set[int],
+    ) -> tuple[int, bool]:
+        if not c_left and not c_right:
+            return min(p_left), True
+        if p_left and (not p_right or len(c_left) <= len(c_right)):
+            return min(p_left), True
+        return min(p_right), False

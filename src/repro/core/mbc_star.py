@@ -1,0 +1,213 @@
+"""MBC* — the paper's maximum balanced clique algorithm (Algorithm 2).
+
+Pipeline:
+
+1. ``VertexReduction`` of [13] (``EdgeReduction`` only in the
+   ``MBC*-withER`` variant — the paper shows it is a net overhead);
+2. ``MBC-Heu`` supplies an initial solution ``C*``;
+3. reduce the graph to its ``|C*|``-core (signs ignored) and compute
+   the degeneracy ordering;
+4. for each vertex ``u`` in *reverse* degeneracy order, build the
+   dichromatic network ``g_u`` over ``u``'s higher-ranked neighbours,
+   core-reduce it, skip it when the colouring bound cannot beat
+   ``|C*|``, and otherwise solve a maximum dichromatic clique instance
+   (:func:`repro.dichromatic.mdc.solve_mdc`).
+
+Every size bar below also folds in the feasibility bound
+``|C| >= 2 * tau`` (both sides need ``tau`` vertices), which is what
+lets gMBC* seed the search with ``(2 tau - 1)``-cores.
+"""
+
+from __future__ import annotations
+
+from ..dichromatic.build import build_dichromatic_network, \
+    ego_network_edge_count
+from ..dichromatic.cores import k_core_active
+from ..dichromatic.mdc import solve_mdc
+from ..signed.graph import SignedGraph
+from ..unsigned.coloring import coloring_upper_bound
+from ..unsigned.cores import k_core_subset
+from ..unsigned.graph import UnsignedGraph
+from ..unsigned.ordering import degeneracy_ordering
+from .heuristic import mbc_heuristic
+from .reductions import edge_reduction, vertex_reduction
+from .result import EMPTY_RESULT, BalancedClique
+from .stats import SearchStats
+
+__all__ = ["mbc_star"]
+
+
+class _HigherRanked:
+    """Membership view over vertices ranked above a threshold."""
+
+    def __init__(self, rank: dict[int, int], threshold: int):
+        self._rank = rank
+        self._threshold = threshold
+
+    def __contains__(self, v: int) -> bool:
+        rank = self._rank.get(v)
+        return rank is not None and rank > self._threshold
+
+
+def mbc_star(
+    graph: SignedGraph,
+    tau: int,
+    use_edge_reduction: bool = False,
+    initial: BalancedClique | None = None,
+    stats: SearchStats | None = None,
+    check_only: bool = False,
+    ordering: str = "degeneracy",
+    use_coloring: bool = True,
+    use_core: bool = True,
+) -> BalancedClique:
+    """Maximum balanced clique satisfying the polarization constraint.
+
+    Parameters
+    ----------
+    graph, tau:
+        The signed graph and polarization constraint.
+    use_edge_reduction:
+        Apply ``EdgeReduction`` too (the ``MBC*-withER`` variant of
+        Figure 6); off by default, as in the paper.
+    initial:
+        Optional known balanced clique satisfying ``tau`` (gMBC* passes
+        the optimum for ``tau + 1``); used as the starting lower bound
+        and returned unchanged when nothing larger exists.
+    stats:
+        Optional instrumentation (Table IV counters).
+    check_only:
+        If True, return the first balanced clique satisfying ``tau``
+        that the search encounters (not necessarily maximum) — the
+        early-termination mode PF-BS uses.  Returns the empty result if
+        none exists.
+    ordering:
+        Vertex processing order: ``'degeneracy'`` (the paper's choice —
+        minimizes ego-network sizes), ``'degree'`` (non-decreasing
+        degree) or ``'id'`` (vertex id); the alternatives exist for the
+        ordering ablation benchmark.
+    use_coloring, use_core:
+        Ablation switches for the colouring-bound and core-reduction
+        pruning (both on by default, as in the paper).
+
+    Returns
+    -------
+    BalancedClique
+        The maximum balanced clique (or the feasibility witness in
+        ``check_only`` mode); empty when no clique satisfies ``tau``.
+    """
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    if ordering not in ("degeneracy", "degree", "id"):
+        raise ValueError(f"unknown ordering {ordering!r}")
+    best = initial if initial is not None else EMPTY_RESULT
+    if not best.is_empty and not best.satisfies(tau):
+        raise ValueError("initial clique violates the tau constraint")
+
+    # Line 1: VertexReduction (plus EdgeReduction for the variant).
+    alive = vertex_reduction(graph, tau)
+    working, mapping = graph.subgraph(alive)
+    if use_edge_reduction:
+        working = edge_reduction(working, tau)
+        alive2 = vertex_reduction(working, tau)
+        if len(alive2) < working.num_vertices:
+            working, mapping2 = working.subgraph(alive2)
+            mapping = [mapping[idx] for idx in mapping2]
+
+    # Line 2: heuristic initial solution.
+    heuristic = mbc_heuristic(working, tau)
+    if stats is not None:
+        stats.heuristic_size = heuristic.size
+    if heuristic.size > best.size:
+        best = BalancedClique.from_sides(
+            {mapping[v] for v in heuristic.left},
+            {mapping[v] for v in heuristic.right})
+    if check_only and best.satisfies(tau) and not best.is_empty:
+        return best
+
+    # Line 3: reduce to the |C*|-core, signs ignored.  ``required`` is
+    # the minimum acceptable clique size: beat the incumbent and leave
+    # room for tau vertices per side.
+    required = max(best.size + 1, 2 * tau)
+    unsigned = UnsignedGraph.from_signed(working)
+    core_alive = k_core_subset(unsigned, required - 1, unsigned.vertices())
+    if not core_alive:
+        return best
+
+    # Line 4: vertex ordering (degeneracy by default; ego-networks of
+    # higher-ranked neighbours then have at most degeneracy(G) many
+    # vertices).
+    if ordering == "degeneracy":
+        full_order = degeneracy_ordering(unsigned)
+    elif ordering == "degree":
+        full_order = sorted(unsigned.vertices(), key=unsigned.degree)
+    else:
+        full_order = list(unsigned.vertices())
+    order = [v for v in full_order if v in core_alive]
+    rank = {v: position for position, v in enumerate(order)}
+
+    # Line 5: process vertices in reverse degeneracy order.
+    for u in reversed(order):
+        required = max(best.size + 1, 2 * tau)
+        allowed = _HigherRanked(rank, rank[u])
+        if stats is not None:
+            stats.vertices_examined += 1
+        network = build_dichromatic_network(working, u, allowed)
+        if network.num_vertices + 1 < required:
+            continue
+        # Line 7: |C*|-core of g_u (k shifted by one: u is excluded).
+        active = set(network.vertices())
+        if use_core:
+            active = k_core_active(network, required - 2, active)
+        if len(active) + 1 < required:
+            continue
+        # Line 8: colouring-based pruning of the whole instance.
+        if use_coloring:
+            bound = _color_bound(network, active)
+            if bound < required - 1:
+                continue
+        if stats is not None:
+            stats.instances += 1
+            ego_edges = ego_network_edge_count(working, u, allowed)
+            reduced_edges = _active_edge_count(network, active)
+            stats.record_reduction(
+                ego_edges, network.num_edges, reduced_edges)
+        found = solve_mdc(
+            network, tau - 1, tau,
+            must_exceed=required - 2,
+            stats=stats,
+            check_only=check_only,
+            active=active,
+            use_coloring=use_coloring,
+            use_core=use_core)
+        if found is None:
+            continue
+        left = {mapping[u]}
+        right: set[int] = set()
+        for v in found:
+            orig = mapping[network.origin[v]]
+            if network.is_left[v]:
+                left.add(orig)
+            else:
+                right.add(orig)
+        candidate = BalancedClique.from_sides(left, right)
+        if check_only:
+            return candidate
+        if candidate.size > best.size:
+            best = candidate
+
+    if check_only:
+        return EMPTY_RESULT
+    return best
+
+
+def _color_bound(network, active: set[int]) -> int:
+    """Greedy-colouring clique bound over ``active`` in ``network``."""
+    from ..dichromatic.cores import coloring_upper_bound_active
+
+    return coloring_upper_bound_active(network, active)
+
+
+def _active_edge_count(network, active: set[int]) -> int:
+    """Edges of the dichromatic network inside ``active``."""
+    return sum(
+        len(network.neighbors(v) & active) for v in active) // 2

@@ -1,0 +1,216 @@
+"""Polarization factor algorithms (Section IV).
+
+``beta(G)`` is the largest ``tau`` for which a balanced clique with
+both sides of size ``>= tau`` exists.  Three solvers, mirroring the
+paper's experimental line-up:
+
+* :func:`pf_enumeration` (``PF-E``) — enumerate balanced cliques and
+  track the best ``min(|C_L|, |C_R|)`` (with the natural size-bound
+  pruning);
+* :func:`pf_binary_search` (``PF-BS``) — binary search on ``tau``,
+  deciding feasibility with MBC* in early-termination mode;
+* :func:`pf_star` (``PF*``, Algorithm 4) — direct adaptation of MBC*:
+  process vertices in reverse *polarization order* (``PDecompose``),
+  and for each ask only the +1 question — "does ``g_u`` hold a
+  dichromatic clique with ``tau* + 1`` vertices per side?" — via DCC,
+  justified by Lemma 4.  ``ordering='degeneracy'`` gives the
+  ``PF*-DOrder`` variant of Figure 9.
+"""
+
+from __future__ import annotations
+
+from ..dichromatic.build import build_dichromatic_network, \
+    ego_network_edge_count
+from ..dichromatic.cores import bicore_active
+from ..dichromatic.dcc import dichromatic_clique_witness
+from ..signed.graph import SignedGraph
+from ..unsigned.graph import UnsignedGraph
+from ..unsigned.ordering import degeneracy_ordering
+from .heuristic import mbc_heuristic
+from .mbc_star import mbc_star
+from .reductions import polar_core_numbers, polarization_upper_bound, \
+    vertex_reduction
+from .result import BalancedClique
+from .stats import SearchStats
+
+__all__ = ["pf_enumeration", "pf_binary_search", "pf_star"]
+
+
+def pf_enumeration(
+    graph: SignedGraph,
+    stats: SearchStats | None = None,
+    node_limit: int | None = None,
+) -> int:
+    """PF-E: polarization factor by exhaustive enumeration."""
+    best = 0
+    nodes = 0
+
+    def enum(
+        c_left: set[int],
+        c_right: set[int],
+        p_left: set[int],
+        p_right: set[int],
+    ) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if stats is not None:
+            stats.nodes += 1
+        if node_limit is not None and nodes > node_limit:
+            raise RuntimeError(
+                f"PF-E exceeded node limit {node_limit}")
+        polarization = min(len(c_left), len(c_right))
+        if polarization > best:
+            best = polarization
+        # Upper bound on what this branch can still achieve.
+        if min(len(c_left) + len(p_left),
+               len(c_right) + len(p_right)) <= best:
+            return
+        while p_left or p_right:
+            if min(len(c_left) + len(p_left),
+                   len(c_right) + len(p_right)) <= best:
+                return
+            if not c_left and not c_right:
+                v, to_left = min(p_left), True
+            elif p_left and (not p_right or len(c_left) <= len(c_right)):
+                v, to_left = min(p_left), True
+            else:
+                v, to_left = min(p_right), False
+            if to_left:
+                enum(
+                    c_left | {v}, c_right,
+                    graph.pos_neighbors(v) & p_left,
+                    graph.neg_neighbors(v) & p_right)
+            else:
+                enum(
+                    c_left, c_right | {v},
+                    graph.neg_neighbors(v) & p_left,
+                    graph.pos_neighbors(v) & p_right)
+            p_left.discard(v)
+            p_right.discard(v)
+
+    vertices = set(graph.vertices())
+    enum(set(), set(), set(vertices), set(vertices))
+    return best
+
+
+def pf_binary_search(
+    graph: SignedGraph,
+    stats: SearchStats | None = None,
+) -> int:
+    """PF-BS: binary search on ``tau``, feasibility via MBC*.
+
+    Each probe runs MBC* in ``check_only`` mode (terminate as soon as
+    both residual thresholds hit zero — the Section IV-B optimization).
+    """
+    low = 0
+    high = polarization_upper_bound(graph)
+    while low < high:
+        mid = (low + high + 1) // 2
+        witness = mbc_star(graph, mid, check_only=True, stats=stats)
+        if witness.satisfies(mid) and not witness.is_empty:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def pf_star(
+    graph: SignedGraph,
+    stats: SearchStats | None = None,
+    ordering: str = "polarization",
+    return_witness: bool = False,
+) -> "int | tuple[int, BalancedClique]":
+    """PF* (Algorithm 4): the dichromatic-clique-checking algorithm.
+
+    Parameters
+    ----------
+    ordering:
+        ``'polarization'`` (default, POrder from ``PDecompose``) or
+        ``'degeneracy'`` (the ``PF*-DOrder`` variant).  The
+        polarization order additionally enables the Lemma-5 early
+        break: once ``pn(u) <= tau*``, no later vertex can improve.
+    return_witness:
+        Also return a balanced clique achieving the factor.
+
+    Returns
+    -------
+    int | tuple[int, BalancedClique]
+        ``beta(G)``; with ``return_witness``, also a clique whose
+        smaller side has exactly ``beta(G)`` vertices.
+    """
+    if ordering not in ("polarization", "degeneracy"):
+        raise ValueError(f"unknown ordering {ordering!r}")
+
+    # Line 1: heuristic lower bound.
+    heuristic = mbc_heuristic(graph, 0)
+    tau_star = heuristic.polarization
+    witness = heuristic
+    if stats is not None:
+        stats.heuristic_size = tau_star
+
+    # Line 2: VertexReduction for tau* + 1.
+    alive = vertex_reduction(graph, tau_star + 1)
+    working, mapping = graph.subgraph(alive)
+
+    # Line 3: total ordering.
+    if ordering == "polarization":
+        order, pn = polar_core_numbers(working)
+    else:
+        order = degeneracy_ordering(UnsignedGraph.from_signed(working))
+        pn = None
+    rank = {v: position for position, v in enumerate(order)}
+
+    # Lines 4-8: reverse-order sweep with DCC checks.
+    for u in reversed(order):
+        if pn is not None and pn[u] <= tau_star:
+            break  # Lemma 5: pn(u) >= gamma(g_u); nothing later helps.
+        if stats is not None:
+            stats.vertices_examined += 1
+        allowed = _HigherRanked(rank, rank[u])
+        network = build_dichromatic_network(working, u, allowed)
+        # Line 6: (tau*+1, tau*+1)-core of g_u; thresholds shifted
+        # because u (an L-vertex adjacent to everyone) is excluded.
+        active = bicore_active(
+            network, tau_star, tau_star + 1, set(network.vertices()))
+        left_count = sum(1 for v in active if network.is_left[v])
+        right_count = len(active) - left_count
+        # Line 7: u must itself survive in the core.
+        if left_count < tau_star or right_count < tau_star + 1:
+            continue
+        if stats is not None:
+            stats.instances += 1
+            ego_edges = ego_network_edge_count(working, u, allowed)
+            reduced = sum(
+                len(network.neighbors(v) & active) for v in active) // 2
+            stats.record_reduction(
+                ego_edges, network.num_edges, reduced)
+        # Line 8: one +1 feasibility question per vertex (Lemma 4).
+        found = dichromatic_clique_witness(
+            network, tau_star, tau_star + 1, stats=stats, active=active)
+        if found is not None:
+            tau_star += 1
+            left = {mapping[u]}
+            right: set[int] = set()
+            for v in found:
+                orig = mapping[network.origin[v]]
+                if network.is_left[v]:
+                    left.add(orig)
+                else:
+                    right.add(orig)
+            witness = BalancedClique.from_sides(left, right)
+
+    if return_witness:
+        return tau_star, witness
+    return tau_star
+
+
+class _HigherRanked:
+    """Membership view over vertices ranked above a threshold."""
+
+    def __init__(self, rank: dict[int, int], threshold: int):
+        self._rank = rank
+        self._threshold = threshold
+
+    def __contains__(self, v: int) -> bool:
+        position = self._rank.get(v)
+        return position is not None and position > self._threshold

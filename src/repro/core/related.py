@@ -1,0 +1,132 @@
+"""Related-work clique notions (Section VII of the paper).
+
+The paper positions balanced cliques against two other signed-clique
+formulations; both are implemented here so the comparison can be made
+concrete:
+
+* **k-balanced trusted cliques** (Hao et al. [34]) — cliques whose
+  edges are all positive.  As the paper notes, this reduces to the
+  classic clique problem on the positive subgraph;
+  :func:`maximum_trusted_clique` does exactly that.
+* **(alpha, k)-cliques** (Li et al. [31]) — cliques where every member
+  has at most ``k`` negative neighbours and at least ``alpha * k``
+  positive neighbours *within the clique*.  Structural balance is not
+  enforced, so these may contain unbalanced triangles;
+  :func:`maximum_alpha_k_clique` is an exact branch-and-bound.
+
+Both return plain vertex sets — these notions have no side split.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..signed.graph import SignedGraph
+from ..unsigned.clique import maximum_clique
+from ..unsigned.coloring import coloring_upper_bound
+from ..unsigned.graph import UnsignedGraph
+
+__all__ = ["maximum_trusted_clique", "maximum_alpha_k_clique",
+           "is_alpha_k_clique"]
+
+
+def maximum_trusted_clique(graph: SignedGraph) -> set[int]:
+    """Largest all-positive clique (k-balanced trusted clique [34]).
+
+    Equivalent to maximum clique on the positive subgraph — the
+    reduction the paper points out when dismissing [34]'s techniques
+    for the balanced-clique problem.
+    """
+    positive = UnsignedGraph(graph.num_vertices)
+    for u, v, sign in graph.edges():
+        if sign == 1:
+            positive.add_edge(u, v)
+    return maximum_clique(positive)
+
+
+def is_alpha_k_clique(
+    graph: SignedGraph,
+    vertices: "set[int] | frozenset[int]",
+    alpha: float,
+    k: int,
+) -> bool:
+    """Whether ``vertices`` is an (alpha, k)-clique of [31]."""
+    members = list(vertices)
+    need_pos = math.ceil(alpha * k)
+    for i, u in enumerate(members):
+        for v in members[i + 1:]:
+            if not graph.has_edge(u, v):
+                return False
+    for u in members:
+        neg_inside = len(graph.neg_neighbors(u) & set(members))
+        pos_inside = len(graph.pos_neighbors(u) & set(members))
+        if neg_inside > k or pos_inside < need_pos:
+            return False
+    return True
+
+
+def maximum_alpha_k_clique(
+    graph: SignedGraph,
+    alpha: float,
+    k: int,
+) -> set[int]:
+    """Exact maximum (alpha, k)-clique via branch-and-bound.
+
+    Within the clique each member may have at most ``k`` negative
+    neighbours (checked incrementally — violations only get worse as
+    the clique grows) and must have at least ``ceil(alpha * k)``
+    positive neighbours (checked on candidates' potential and on the
+    final clique).  Pruned with the unsigned colouring bound.  Returns
+    the empty set when no non-empty (alpha, k)-clique exists (e.g.
+    ``alpha * k`` exceeds every achievable positive degree).
+    """
+    unsigned = UnsignedGraph.from_signed(graph)
+    need_pos = math.ceil(alpha * k)
+    best: set[int] = set()
+
+    def qualifies(clique: set[int]) -> bool:
+        for u in clique:
+            if len(graph.pos_neighbors(u) & clique) < need_pos:
+                return False
+        return True
+
+    def search(clique: set[int], candidates: set[int]) -> None:
+        nonlocal best
+        if len(clique) > len(best) and qualifies(clique):
+            best = set(clique)
+        if not candidates:
+            return
+        if len(clique) + len(candidates) <= len(best):
+            return
+        if (len(clique)
+                + coloring_upper_bound(unsigned, candidates)
+                <= len(best)):
+            return
+        pool = set(candidates)
+        while pool:
+            v = min(pool, key=lambda u: len(unsigned.neighbors(u)
+                                            & pool))
+            # Negative-degree feasibility is monotone: filter the new
+            # candidate set to vertices that keep every member (and
+            # themselves) within the k-negative budget.
+            new_clique = clique | {v}
+            new_candidates = set()
+            for u in unsigned.neighbors(v) & pool:
+                if len(graph.neg_neighbors(u) & new_clique) > k:
+                    continue
+                new_candidates.add(u)
+            feasible = all(
+                len(graph.neg_neighbors(u) & new_clique) <= k
+                for u in new_clique)
+            if feasible:
+                search(new_clique, new_candidates)
+            pool.discard(v)
+            if len(clique) + len(pool) <= len(best):
+                return
+
+    vertices = {
+        v for v in graph.vertices()
+        if graph.pos_degree(v) >= need_pos
+    }
+    search(set(), vertices)
+    return best

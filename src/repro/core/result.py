@@ -1,0 +1,90 @@
+"""Result types returned by the search algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..signed.graph import SignedGraph
+from .balance import split_sides
+
+__all__ = ["BalancedClique", "EMPTY_RESULT"]
+
+
+@dataclass(frozen=True)
+class BalancedClique:
+    """A balanced clique with its (canonical) side split.
+
+    ``left`` and ``right`` are frozen vertex sets; ``left`` is the side
+    containing the smallest vertex id whenever both sides are non-empty,
+    so two equal cliques compare equal regardless of discovery order.
+    """
+
+    left: frozenset[int] = field(default_factory=frozenset)
+    right: frozenset[int] = field(default_factory=frozenset)
+
+    @classmethod
+    def from_sides(
+        cls, left: "set[int] | frozenset[int]",
+        right: "set[int] | frozenset[int]",
+    ) -> "BalancedClique":
+        """Build with canonical side ordering."""
+        left_f = frozenset(left)
+        right_f = frozenset(right)
+        if not left_f:
+            left_f, right_f = right_f, left_f
+        elif right_f and min(right_f) < min(left_f):
+            left_f, right_f = right_f, left_f
+        return cls(left_f, right_f)
+
+    @classmethod
+    def from_vertices(
+        cls, graph: SignedGraph, vertices: "set[int] | frozenset[int]"
+    ) -> "BalancedClique":
+        """Recover the side split of a balanced clique of ``graph``.
+
+        Raises ``ValueError`` if the vertex set is not a balanced clique.
+        """
+        sides = split_sides(graph, vertices)
+        if sides is None:
+            raise ValueError(
+                f"{sorted(vertices)} is not a balanced clique")
+        return cls.from_sides(*sides)
+
+    @property
+    def vertices(self) -> frozenset[int]:
+        """``C = C_L ∪ C_R``."""
+        return self.left | self.right
+
+    @property
+    def size(self) -> int:
+        """``|C|``."""
+        return len(self.left) + len(self.right)
+
+    @property
+    def polarization(self) -> int:
+        """``min(|C_L|, |C_R|)`` — the largest ``tau`` this clique
+        satisfies."""
+        return min(len(self.left), len(self.right))
+
+    def satisfies(self, tau: int) -> bool:
+        """Whether both sides have at least ``tau`` members."""
+        return self.polarization >= tau
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.left and not self.right
+
+    def describe(self, graph: SignedGraph | None = None) -> str:
+        """Human-readable summary, using vertex labels when available."""
+
+        def names(side: frozenset[int]) -> str:
+            if graph is None:
+                return ", ".join(str(v) for v in sorted(side))
+            return ", ".join(graph.label(v) for v in sorted(side))
+
+        return (f"|C|={self.size} <{len(self.left)}|{len(self.right)}> "
+                f"L=[{names(self.left)}] R=[{names(self.right)}]")
+
+
+#: Shared sentinel for "no qualifying clique".
+EMPTY_RESULT = BalancedClique()

@@ -1,0 +1,79 @@
+"""Instrumentation for the search algorithms (Table IV of the paper).
+
+Table IV reports, per dataset and algorithm (MBC*, PF*):
+
+* ``Heu`` — size (resp. lower bound) found by the heuristic;
+* ``#MDC`` / ``#DCC`` — how many branch-and-bound instances were
+  actually launched (most ego-networks are pruned outright);
+* ``SR1`` — average edge-reduction ratio of the dichromatic
+  transformation, ``1 - |E(g_u)| / |E(G_u)|``;
+* ``SR2`` — average edge-reduction ratio after the additional core
+  reduction, ``1 - |E(g)| / |E(G_u)|``.
+
+:class:`SearchStats` accumulates these counters; the algorithms accept
+an optional instance so instrumentation has zero cost when unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one algorithm run."""
+
+    #: Size of the initial heuristic solution (``Heu`` column); for PF*
+    #: this is the heuristic lower bound on ``beta(G)``.
+    heuristic_size: int = 0
+    #: Branch-and-bound instances actually launched (``#MDC``/``#DCC``).
+    instances: int = 0
+    #: Vertices whose ego-network was examined at all.
+    vertices_examined: int = 0
+    #: Total recursion nodes across all instances.
+    nodes: int = 0
+    #: Per-instance ``1 - |E(g_u)| / |E(G_u)|`` samples.
+    sr1_samples: list[float] = field(default_factory=list)
+    #: Per-instance ``1 - |E(g)| / |E(G_u)|`` samples.
+    sr2_samples: list[float] = field(default_factory=list)
+
+    def record_reduction(
+        self,
+        ego_edges: int,
+        dichromatic_edges: int,
+        reduced_edges: int,
+    ) -> None:
+        """Record the two-stage size reduction for one instance.
+
+        Instances whose ego-network has no edges are skipped (the ratio
+        is undefined), mirroring the paper's per-instance averaging.
+        """
+        if ego_edges <= 0:
+            return
+        self.sr1_samples.append(1.0 - dichromatic_edges / ego_edges)
+        self.sr2_samples.append(1.0 - reduced_edges / ego_edges)
+
+    @property
+    def sr1(self) -> float | None:
+        """Average stage-1 size-reduction ratio (``None`` if no samples,
+        printed as '-' in Table IV)."""
+        if not self.sr1_samples:
+            return None
+        return sum(self.sr1_samples) / len(self.sr1_samples)
+
+    @property
+    def sr2(self) -> float | None:
+        """Average overall size-reduction ratio."""
+        if not self.sr2_samples:
+            return None
+        return sum(self.sr2_samples) / len(self.sr2_samples)
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another run's counters into this one (used by gMBC*)."""
+        self.instances += other.instances
+        self.vertices_examined += other.vertices_examined
+        self.nodes += other.nodes
+        self.sr1_samples.extend(other.sr1_samples)
+        self.sr2_samples.extend(other.sr2_samples)

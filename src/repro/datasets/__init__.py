@@ -1,0 +1,16 @@
+"""Dataset stand-ins: Table I registry and labelled case studies."""
+
+from .registry import DATASETS, DatasetSpec, dataset_names, load, load_spec
+from .casestudies import ppi_case_study, reddit_case_study, \
+    wordnet_case_study
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load",
+    "load_spec",
+    "reddit_case_study",
+    "wordnet_case_study",
+    "ppi_case_study",
+]

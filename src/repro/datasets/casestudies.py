@@ -1,0 +1,143 @@
+"""Named toy graphs for the case studies (Tables II and III).
+
+The paper's case studies run on the real Reddit and AdjWordNet graphs
+and print human-readable members.  These builders construct small
+labelled analogues with the same qualitative structure:
+
+* :func:`reddit_case_study` — subreddits exchanging sentiment, with a
+  planted conflict between a content cluster and a drama cluster plus
+  background chatter (Table II's shape: videos/gaming/... vs
+  subredditdrama/...);
+* :func:`wordnet_case_study` — adjectives with synonym (positive) and
+  antonym (negative) edges, planting the good-vs-bad clique of
+  Table III;
+* :func:`ppi_case_study` — a signed protein-protein interaction toy
+  network (activation/inhibition) for the protein-complex example the
+  introduction motivates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..signed.generators import plant_balanced_clique
+from ..signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+__all__ = ["reddit_case_study", "wordnet_case_study", "ppi_case_study"]
+
+_SUBREDDITS = [
+    # The planted conflict clique (Table II).
+    "videos", "gaming", "mma", "thepopcornstand", "canada",
+    "subredditdrama", "trueredditdrama", "drama",
+    # Background subreddits.
+    "pics", "funny", "askreddit", "worldnews", "movies", "music",
+    "science", "books", "sports", "food", "history", "art",
+    "technology", "space", "fitness", "travel", "diy", "gardening",
+    "photography", "cars", "anime", "programming",
+]
+
+_GOOD_WORDS = [
+    "good", "better", "best", "wonderful", "excellent", "great",
+    "superior", "awesome", "brilliant", "fabulous", "fantastic",
+    "outstanding", "perfect", "superb", "splendid", "terrific",
+]
+
+_BAD_WORDS = [
+    "bad", "worse", "worst", "terrible", "poor", "awful", "inferior",
+    "horrendous", "weak", "dreadful", "despicable", "disastrous",
+    "horrible", "deplorable", "abominable", "horrific",
+]
+
+_NEUTRAL_WORDS = [
+    "big", "large", "huge", "small", "tiny", "fast", "quick", "slow",
+    "bright", "dark", "warm", "cold", "loud", "quiet", "new", "old",
+    "soft", "hard", "light", "heavy",
+]
+
+
+def reddit_case_study(seed: int = 7) -> SignedGraph:
+    """Labelled subreddit-sentiment graph with a planted conflict.
+
+    The content cluster (videos, gaming, mma, thepopcornstand, canada)
+    shares positive sentiment internally and negative sentiment towards
+    the drama cluster (subredditdrama, trueredditdrama, drama), which
+    is itself internally positive — the maximum balanced clique for
+    ``tau = 3``.
+    """
+    rng = random.Random(seed)
+    graph = SignedGraph(len(_SUBREDDITS), labels=_SUBREDDITS)
+    content = list(range(5))
+    drama = list(range(5, 8))
+    plant_balanced_clique(graph, content, drama)
+    background = list(range(8, len(_SUBREDDITS)))
+    # Background chatter: mostly-positive random sentiment.
+    for v in background:
+        for u in rng.sample(range(len(_SUBREDDITS)), 6):
+            if u == v or graph.has_edge(u, v):
+                continue
+            sign = NEGATIVE if rng.random() < 0.2 else POSITIVE
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+def wordnet_case_study(seed: int = 11) -> SignedGraph:
+    """Labelled synonym/antonym adjective graph (Table III's shape).
+
+    Good-cluster words are pairwise synonyms, bad-cluster words are
+    pairwise synonyms, and every good/bad pair is antonymous — a
+    balanced clique with sides of 16 and 16.  Neutral words attach with
+    sparse random relations.
+    """
+    words = _GOOD_WORDS + _BAD_WORDS + _NEUTRAL_WORDS
+    rng = random.Random(seed)
+    graph = SignedGraph(len(words), labels=words)
+    good = list(range(len(_GOOD_WORDS)))
+    bad = list(range(len(_GOOD_WORDS), len(_GOOD_WORDS) + len(_BAD_WORDS)))
+    plant_balanced_clique(graph, good, bad)
+    neutral_start = len(_GOOD_WORDS) + len(_BAD_WORDS)
+    for v in range(neutral_start, len(words)):
+        for u in rng.sample(range(len(words)), 4):
+            if u == v or graph.has_edge(u, v):
+                continue
+            sign = NEGATIVE if rng.random() < 0.3 else POSITIVE
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+def ppi_case_study(
+    complexes: int = 3,
+    proteins_per_complex: int = 5,
+    seed: int = 13,
+) -> SignedGraph:
+    """Signed PPI toy network: activation within complexes, inhibition
+    between antagonistic complex pairs.
+
+    Complex ``2k`` and complex ``2k+1`` are antagonistic (dense mutual
+    inhibition), modelling the activation-inhibition structure that
+    motivates balanced-clique-based complex detection [5], [19].
+    """
+    n = complexes * 2 * proteins_per_complex
+    labels = [
+        f"P{group}_{index}"
+        for group in range(complexes * 2)
+        for index in range(proteins_per_complex)
+    ]
+    rng = random.Random(seed)
+    graph = SignedGraph(n, labels=labels)
+
+    def members(group: int) -> list[int]:
+        start = group * proteins_per_complex
+        return list(range(start, start + proteins_per_complex))
+
+    for pair in range(complexes):
+        plant_balanced_clique(
+            graph, members(2 * pair), members(2 * pair + 1))
+    # Sparse cross-talk between unrelated complexes.
+    for _ in range(n):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        sign = NEGATIVE if rng.random() < 0.4 else POSITIVE
+        graph.add_edge(u, v, sign)
+    return graph

@@ -1,0 +1,20 @@
+"""Dichromatic substrate: the paper's ego-network transformation plus
+the MDC (maximum) and DCC (feasibility) branch-and-bound engines."""
+
+from .graph import DichromaticGraph
+from .build import build_dichromatic_network, ego_network_edge_count
+from .cores import bicore_active, coloring_upper_bound_active, k_core_active
+from .mdc import solve_mdc
+from .dcc import dichromatic_clique_check, dichromatic_clique_witness
+
+__all__ = [
+    "DichromaticGraph",
+    "build_dichromatic_network",
+    "ego_network_edge_count",
+    "bicore_active",
+    "coloring_upper_bound_active",
+    "k_core_active",
+    "solve_mdc",
+    "dichromatic_clique_check",
+    "dichromatic_clique_witness",
+]

@@ -1,0 +1,105 @@
+"""DCC — dichromatic clique checking (Algorithm 4 of the paper).
+
+``DCC(g, tau_L, tau_R)`` decides whether ``g`` contains *any*
+dichromatic clique with at least ``tau_L`` L-vertices and ``tau_R``
+R-vertices.  Unlike MDC it does not look for the maximum — it stops the
+moment both quotas reach zero — and it prunes with the
+``(tau_L, tau_R)``-core rather than colouring bounds, exactly as in the
+pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .cores import bicore_active
+from .graph import DichromaticGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.stats import SearchStats
+
+__all__ = ["dichromatic_clique_check", "dichromatic_clique_witness"]
+
+
+def dichromatic_clique_check(
+    graph: DichromaticGraph,
+    tau_l: int,
+    tau_r: int,
+    stats: "SearchStats | None" = None,
+    active: set[int] | None = None,
+) -> bool:
+    """True iff ``graph`` has a dichromatic clique meeting the quotas.
+
+    ``active`` optionally restricts the search to a vertex subset
+    (callers pass an already-core-reduced set).
+    """
+    if active is None:
+        active = set(graph.vertices())
+    else:
+        active = set(active)
+    return _check(graph, active, tau_l, tau_r, stats, None)
+
+
+def dichromatic_clique_witness(
+    graph: DichromaticGraph,
+    tau_l: int,
+    tau_r: int,
+    stats: "SearchStats | None" = None,
+    active: set[int] | None = None,
+) -> set[int] | None:
+    """Like :func:`dichromatic_clique_check` but returns the witness
+    clique (local vertex ids), or ``None`` when infeasible."""
+    if active is None:
+        active = set(graph.vertices())
+    else:
+        active = set(active)
+    witness: list[int] = []
+    if _check(graph, active, tau_l, tau_r, stats, witness):
+        return set(witness)
+    return None
+
+
+def _check(
+    graph: DichromaticGraph,
+    active: set[int],
+    tau_l: int,
+    tau_r: int,
+    stats: "SearchStats | None",
+    witness: list[int] | None,
+) -> bool:
+    if stats is not None:
+        stats.nodes += 1
+    if tau_l == 0 and tau_r == 0:
+        return True
+    active = bicore_active(graph, tau_l, tau_r, active)
+    left = {v for v in active if graph.is_left[v]}
+    right = active - left
+    # Feasibility guard (implicit in the pseudocode's empty loop): each
+    # side must still be able to cover its quota.
+    if len(left) < tau_l or len(right) < tau_r:
+        return False
+
+    if tau_l > 0 and tau_r == 0:
+        branch_pool = left
+    elif tau_l == 0 and tau_r > 0:
+        branch_pool = right
+    else:
+        branch_pool = set(active)
+
+    while branch_pool:
+        v = min(
+            branch_pool, key=lambda x: len(graph.neighbors(x) & active))
+        if graph.is_left[v]:
+            next_l, next_r = tau_l - 1, tau_r
+        else:
+            next_l, next_r = tau_l, tau_r - 1
+        if witness is not None:
+            witness.append(v)
+        if _check(graph, graph.neighbors(v) & active,
+                  next_l, next_r, stats, witness):
+            return True
+        if witness is not None:
+            witness.pop()
+        branch_pool.discard(v)
+        active.discard(v)
+    return False

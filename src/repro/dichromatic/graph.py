@@ -1,0 +1,119 @@
+"""Dichromatic graphs (Problem 3 of the paper).
+
+A *dichromatic graph* ``g = (V_L ∪ V_R, E)`` is an unsigned graph whose
+vertices carry one of two labels, L or R.  A clique ``C`` of ``g`` is a
+*dichromatic clique satisfying the constraint* ``(tau_L, tau_R)`` when
+``|C ∩ V_L| >= tau_L`` and ``|C ∩ V_R| >= tau_R``.
+
+:class:`DichromaticGraph` stores the label array, adjacency sets, and an
+``origin`` array mapping local vertex ids back to vertices of the signed
+graph the network was extracted from (see :mod:`repro.dichromatic.build`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["DichromaticGraph"]
+
+
+class DichromaticGraph:
+    """Vertex-labelled unsigned graph over local ids ``0..n-1``.
+
+    Parameters
+    ----------
+    is_left:
+        ``is_left[v]`` is True for L-vertices, False for R-vertices.
+    origin:
+        Optional mapping from local id to the original vertex id of the
+        signed graph (defaults to the identity).
+    """
+
+    def __init__(
+        self,
+        is_left: Sequence[bool],
+        origin: Sequence[int] | None = None,
+    ):
+        self.is_left: list[bool] = list(is_left)
+        n = len(self.is_left)
+        if origin is None:
+            self.origin: list[int] = list(range(n))
+        else:
+            if len(origin) != n:
+                raise ValueError(
+                    f"expected {n} origin entries, got {len(origin)}")
+            self.origin = list(origin)
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.is_left)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self._adj) // 2
+
+    def vertices(self) -> range:
+        return range(self.num_vertices)
+
+    def left_vertices(self) -> set[int]:
+        """``V_L`` as a fresh set of local ids."""
+        return {v for v in self.vertices() if self.is_left[v]}
+
+    def right_vertices(self) -> set[int]:
+        """``V_R`` as a fresh set of local ids."""
+        return {v for v in self.vertices() if not self.is_left[v]}
+
+    def neighbors(self, v: int) -> set[int]:
+        """Live adjacency set of ``v`` — callers must not mutate it."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        n = self.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for u in self.vertices():
+            for v in self._adj[u]:
+                if u < v:
+                    yield u, v
+
+    def is_clique(self, vertices: Iterable[int]) -> bool:
+        members = list(vertices)
+        for i, u in enumerate(members):
+            adj = self._adj[u]
+            for v in members[i + 1:]:
+                if v not in adj:
+                    return False
+        return True
+
+    def side_counts(self, vertices: Iterable[int]) -> tuple[int, int]:
+        """``(|S ∩ V_L|, |S ∩ V_R|)`` for a local vertex set ``S``."""
+        left = 0
+        right = 0
+        for v in vertices:
+            if self.is_left[v]:
+                left += 1
+            else:
+                right += 1
+        return left, right
+
+    def to_original(self, vertices: Iterable[int]) -> set[int]:
+        """Translate local ids back to original signed-graph ids."""
+        return {self.origin[v] for v in vertices}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        left = sum(1 for flag in self.is_left if flag)
+        return (f"DichromaticGraph(|V_L|={left}, "
+                f"|V_R|={self.num_vertices - left}, m={self.num_edges})")

@@ -1,0 +1,177 @@
+"""MDC — maximum dichromatic clique branch-and-bound.
+
+The ``MDC`` procedure of Algorithm 2.  Given a dichromatic graph ``g``
+and residual side thresholds ``(tau_L, tau_R)``, it finds the largest
+clique ``C'`` of ``g`` with at least ``tau_L`` L-vertices and ``tau_R``
+R-vertices whose size exceeds a caller-supplied bar (``must_exceed``).
+
+Per branch-and-bound node (faithful to the pseudocode):
+
+1. record the running clique if it beats the bar and both residual
+   thresholds are satisfied;
+2. reduce the candidate set to its ``(bar - |C|)``-core (label-blind);
+3. prune when either side cannot reach its threshold or the greedy
+   colouring bound shows no large-enough clique exists;
+4. choose the branching pool ``B`` — the side still owing vertices, or
+   everything when neither/both sides owe;
+5. repeatedly branch on the minimum-degree vertex of ``B``, recursing on
+   its neighbourhood, then discard it from the instance.
+
+Thresholds may go below zero (a side may exceed its quota); the search
+is exhaustive, so the returned clique is exactly
+``argmax {|C'| : C' beats the bar and satisfies the thresholds}``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .cores import coloring_upper_bound_active, k_core_active
+from .graph import DichromaticGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.stats import SearchStats
+
+__all__ = ["solve_mdc", "FeasibleFound"]
+
+
+class FeasibleFound(Exception):
+    """Raised internally to stop the search in feasibility-check mode."""
+
+    def __init__(self, clique: set[int]):
+        super().__init__("feasible dichromatic clique found")
+        self.clique = clique
+
+
+def solve_mdc(
+    graph: DichromaticGraph,
+    tau_l: int,
+    tau_r: int,
+    must_exceed: int,
+    stats: "SearchStats | None" = None,
+    check_only: bool = False,
+    active: set[int] | None = None,
+    use_coloring: bool = True,
+    use_core: bool = True,
+) -> set[int] | None:
+    """Solve one maximum-dichromatic-clique instance.
+
+    Parameters
+    ----------
+    graph:
+        The dichromatic network (typically ``g_u`` without ``u``).
+    tau_l, tau_r:
+        Residual side quotas.  When the anchor vertex ``u`` is an
+        L-vertex excluded from ``graph``, the caller passes
+        ``(tau - 1, tau)``.
+    must_exceed:
+        Only cliques strictly larger than this count (the incumbent
+        ``|C*|`` minus the anchor) are returned.
+    stats:
+        Optional :class:`repro.core.stats.SearchStats` accumulator.
+    check_only:
+        If True, stop as soon as *any* clique meeting the thresholds is
+        found (the PF-BS optimization of Section IV-B) and return it —
+        it need not be maximum.
+    active:
+        Optional subset of vertices to search within (callers pass the
+        already-core-reduced vertex set); defaults to all vertices.
+    use_coloring, use_core:
+        Ablation switches for the two per-node pruning rules (both on
+        by default, as in the paper); used by the ablation benchmarks
+        to quantify each rule's contribution.
+
+    Returns
+    -------
+    set[int] | None
+        Best qualifying clique (local vertex ids), or ``None``.
+    """
+    state = _State(graph, must_exceed, stats)
+    state.use_coloring = use_coloring
+    state.use_core = use_core
+    if active is None:
+        active = set(graph.vertices())
+    else:
+        active = set(active)
+    try:
+        state.search(set(), active, tau_l, tau_r, check_only)
+    except FeasibleFound as found:
+        return found.clique
+    return state.best
+
+
+class _State:
+    """Mutable search state shared across MDC recursion levels."""
+
+    def __init__(
+        self,
+        graph: DichromaticGraph,
+        must_exceed: int,
+        stats: "SearchStats | None",
+    ):
+        self.graph = graph
+        self.best: set[int] | None = None
+        self.best_size = must_exceed
+        self.stats = stats
+        self.use_coloring = True
+        self.use_core = True
+
+    def search(
+        self,
+        clique: set[int],
+        active: set[int],
+        tau_l: int,
+        tau_r: int,
+        check_only: bool,
+    ) -> None:
+        graph = self.graph
+        if self.stats is not None:
+            self.stats.nodes += 1
+        if tau_l <= 0 and tau_r <= 0:
+            if check_only:
+                raise FeasibleFound(set(clique))
+            if len(clique) > self.best_size:
+                self.best = set(clique)
+                self.best_size = len(clique)
+
+        # Degree-based reduction: a strictly larger clique needs every
+        # remaining member to keep (best_size - |C|) neighbours among
+        # the remaining members.
+        if self.use_core:
+            active = k_core_active(
+                graph, self.best_size - len(clique), active)
+        left = {v for v in active if graph.is_left[v]}
+        right_count = len(active) - len(left)
+        if len(left) < tau_l or right_count < tau_r:
+            return
+        if not check_only and self.use_coloring:
+            bound = coloring_upper_bound_active(graph, active)
+            if bound <= self.best_size - len(clique):
+                return
+
+        if tau_l > 0 and tau_r <= 0:
+            branch_pool = left
+        elif tau_l <= 0 and tau_r > 0:
+            branch_pool = active - left
+        else:
+            branch_pool = set(active)
+
+        while branch_pool:
+            v = min(
+                branch_pool,
+                key=lambda x: len(graph.neighbors(x) & active))
+            if graph.is_left[v]:
+                next_l, next_r = tau_l - 1, tau_r
+            else:
+                next_l, next_r = tau_l, tau_r - 1
+            clique.add(v)
+            self.search(
+                clique, graph.neighbors(v) & active,
+                next_l, next_r, check_only)
+            clique.discard(v)
+            branch_pool.discard(v)
+            active.discard(v)
+            # Re-check viability: removing v may make the remainder
+            # too small for either quota or for a strictly larger clique.
+            if len(clique) + len(active) <= self.best_size:
+                return

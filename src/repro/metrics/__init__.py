@@ -1,0 +1,11 @@
+"""Quality metrics for polarized communities (Polarity, SBR, HAM)."""
+
+from .polarity import count_group_edges, harmonic_polarization, polarity, \
+    signed_bipartiteness_ratio
+
+__all__ = [
+    "polarity",
+    "signed_bipartiteness_ratio",
+    "harmonic_polarization",
+    "count_group_edges",
+]

@@ -1,0 +1,40 @@
+"""Signed-graph substrate: data structure, I/O, generators, conversions."""
+
+from .graph import NEGATIVE, POSITIVE, SignedGraph
+from .io import load_signed_graph, read_edge_list, save_signed_graph, \
+    write_edge_list
+from .generators import chung_lu_signed_graph, plant_balanced_clique, \
+    random_signed_graph, srn_community_graph
+from .ratings import RatingTable, random_rating_table, \
+    ratings_to_signed_graph
+from .triangles import TriangleCensus, balance_degree, \
+    edge_triangle_profile, triangle_census
+from .balance import connected_components, frustration_count, \
+    frustration_partition_local_search, harary_partition, \
+    is_structurally_balanced
+
+__all__ = [
+    "SignedGraph",
+    "POSITIVE",
+    "NEGATIVE",
+    "load_signed_graph",
+    "save_signed_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "random_signed_graph",
+    "chung_lu_signed_graph",
+    "srn_community_graph",
+    "plant_balanced_clique",
+    "RatingTable",
+    "random_rating_table",
+    "ratings_to_signed_graph",
+    "is_structurally_balanced",
+    "harary_partition",
+    "connected_components",
+    "frustration_count",
+    "frustration_partition_local_search",
+    "TriangleCensus",
+    "triangle_census",
+    "balance_degree",
+    "edge_triangle_profile",
+]

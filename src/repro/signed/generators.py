@@ -1,0 +1,207 @@
+"""Synthetic signed-graph generators.
+
+The paper evaluates on 12 real datasets plus two graphs produced by the
+SRN community-based generator of Su et al. [32].  Offline we cannot fetch
+the real graphs, so this module provides the generator family used by
+:mod:`repro.datasets` to build deterministic stand-ins that preserve the
+features the algorithms are sensitive to:
+
+* :func:`random_signed_graph` — Erdős–Rényi-style background noise with a
+  controlled negative-edge ratio;
+* :func:`chung_lu_signed_graph` — heavy-tailed degree sequence (real
+  social/rating networks are power-law);
+* :func:`srn_community_graph` — an SRN-style generator: dense positive
+  communities with sparse negative inter-community edges, mirroring [32];
+* :func:`plant_balanced_clique` — embeds a balanced clique with chosen
+  side sizes (this pins ``|C*|`` and contributes to ``beta(G)``).
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .graph import NEGATIVE, POSITIVE, SignedGraph
+
+__all__ = [
+    "random_signed_graph",
+    "chung_lu_signed_graph",
+    "srn_community_graph",
+    "plant_balanced_clique",
+    "power_law_weights",
+]
+
+
+def random_signed_graph(
+    n: int,
+    m: int,
+    neg_ratio: float = 0.2,
+    seed: int | None = None,
+) -> SignedGraph:
+    """Uniform random signed graph with ``n`` vertices and ``~m`` edges.
+
+    Each sampled edge is negative with probability ``neg_ratio``.
+    Duplicate picks are re-drawn, so the result has exactly ``m`` edges
+    whenever ``m <= n*(n-1)/2``.
+    """
+    if not 0.0 <= neg_ratio <= 1.0:
+        raise ValueError(f"neg_ratio must be in [0, 1], got {neg_ratio}")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    rng = random.Random(seed)
+    graph = SignedGraph(n)
+    seen: set[tuple[int, int]] = set()
+    while len(seen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        sign = NEGATIVE if rng.random() < neg_ratio else POSITIVE
+        graph.add_edge(u, v, sign)
+    return graph
+
+
+def power_law_weights(n: int, exponent: float = 2.5) -> list[float]:
+    """Chung–Lu weights ``w_i ∝ (i+1)^(-1/(exponent-1))``.
+
+    Produces a degree sequence whose tail follows a power law with the
+    given exponent, the standard model for social-network degrees.
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    alpha = 1.0 / (exponent - 1.0)
+    return [(i + 1) ** (-alpha) for i in range(n)]
+
+
+def chung_lu_signed_graph(
+    n: int,
+    m: int,
+    neg_ratio: float = 0.2,
+    exponent: float = 2.5,
+    seed: int | None = None,
+) -> SignedGraph:
+    """Signed Chung–Lu graph: heavy-tailed degrees, ``~m`` edges.
+
+    Endpoints are sampled proportionally to power-law weights; the sign
+    of each edge is negative with probability ``neg_ratio``.  Collisions
+    are re-drawn up to a bounded number of attempts, so very dense
+    requests may return slightly fewer than ``m`` edges.
+    """
+    rng = random.Random(seed)
+    weights = power_law_weights(n, exponent)
+    total = sum(weights)
+    cumulative: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total)
+
+    def sample_vertex() -> int:
+        r = rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    graph = SignedGraph(n)
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = 20 * m + 100
+    while len(seen) < m and attempts < max_attempts:
+        attempts += 1
+        u = sample_vertex()
+        v = sample_vertex()
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        sign = NEGATIVE if rng.random() < neg_ratio else POSITIVE
+        graph.add_edge(u, v, sign)
+    return graph
+
+
+def srn_community_graph(
+    n: int,
+    communities: int,
+    p_in: float = 0.05,
+    p_out: float = 0.005,
+    noise: float = 0.05,
+    seed: int | None = None,
+) -> SignedGraph:
+    """SRN-style community signed graph (after Su et al. [32]).
+
+    Vertices are split evenly into ``communities`` groups.  Within-group
+    pairs get a positive edge with probability ``p_in``; cross-group
+    pairs get a negative edge with probability ``p_out``.  Each placed
+    edge has its sign flipped with probability ``noise``, modelling the
+    imperfect balance of real networks.
+    """
+    if communities < 1:
+        raise ValueError("need at least one community")
+    rng = random.Random(seed)
+    membership = [v % communities for v in range(n)]
+    graph = SignedGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = membership[u] == membership[v]
+            p = p_in if same else p_out
+            if rng.random() >= p:
+                continue
+            sign = POSITIVE if same else NEGATIVE
+            if rng.random() < noise:
+                sign = -sign
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+def plant_balanced_clique(
+    graph: SignedGraph,
+    left: Sequence[int],
+    right: Sequence[int],
+) -> SignedGraph:
+    """Embed a balanced clique on ``left ∪ right`` (mutates ``graph``).
+
+    All within-side pairs become positive edges and all cross-side pairs
+    become negative edges; conflicting pre-existing edges are rewritten.
+    Returns ``graph`` for chaining.
+
+    Raises
+    ------
+    ValueError
+        if the two sides overlap or contain out-of-range vertices.
+    """
+    left_set, right_set = set(left), set(right)
+    if left_set & right_set:
+        raise ValueError(f"sides overlap: {sorted(left_set & right_set)}")
+    n = graph.num_vertices
+    for v in left_set | right_set:
+        if not 0 <= v < n:
+            raise ValueError(f"vertex {v} out of range for n={n}")
+
+    def force_edge(u: int, v: int, sign: int) -> None:
+        current = graph.sign(u, v)
+        if current == sign:
+            return
+        if current is not None:
+            graph.remove_edge(u, v)
+        graph.add_edge(u, v, sign)
+
+    members = sorted(left_set | right_set)
+    for i, u in enumerate(members):
+        for v in members[i + 1:]:
+            same_side = (u in left_set) == (v in left_set)
+            force_edge(u, v, POSITIVE if same_side else NEGATIVE)
+    return graph

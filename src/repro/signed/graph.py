@@ -1,0 +1,324 @@
+"""Signed graph data structure.
+
+The :class:`SignedGraph` is the substrate every algorithm in this package
+operates on.  It stores an undirected simple signed graph
+``G = (V, E+, E-)`` as two families of adjacency sets (one per edge sign),
+mirroring the paper's notation:
+
+* ``N+(v)`` — positive neighbours (:meth:`SignedGraph.pos_neighbors`),
+* ``N-(v)`` — negative neighbours (:meth:`SignedGraph.neg_neighbors`),
+* ``d+(v)`` / ``d-(v)`` — positive / negative degree.
+
+Vertices are integers ``0..n-1``.  Optional string labels can be attached
+(used by the case-study datasets so results are human-readable).
+
+Design notes
+------------
+Adjacency *sets* (not lists) are used because the branch-and-bound
+algorithms intersect neighbourhoods constantly; set intersection is the
+dominant primitive.  The structure is mutable only through the explicit
+edge/vertex editing API; algorithms never mutate a caller's graph — they
+copy or build induced subgraphs via :meth:`SignedGraph.subgraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+POSITIVE = 1
+NEGATIVE = -1
+
+__all__ = ["SignedGraph", "POSITIVE", "NEGATIVE"]
+
+
+class SignedGraph:
+    """An undirected simple signed graph with integer vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    labels:
+        Optional sequence of ``n`` vertex labels (e.g. subreddit names).
+    """
+
+    def __init__(self, n: int = 0, labels: Sequence[str] | None = None):
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self._pos: list[set[int]] = [set() for _ in range(n)]
+        self._neg: list[set[int]] = [set() for _ in range(n)]
+        self._labels: list[str] | None = None
+        if labels is not None:
+            if len(labels) != n:
+                raise ValueError(
+                    f"expected {n} labels, got {len(labels)}")
+            self._labels = list(labels)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        positive_edges: Iterable[tuple[int, int]] = (),
+        negative_edges: Iterable[tuple[int, int]] = (),
+        labels: Sequence[str] | None = None,
+    ) -> "SignedGraph":
+        """Build a graph from explicit positive / negative edge lists."""
+        graph = cls(n, labels=labels)
+        for u, v in positive_edges:
+            graph.add_edge(u, v, POSITIVE)
+        for u, v in negative_edges:
+            graph.add_edge(u, v, NEGATIVE)
+        return graph
+
+    @classmethod
+    def from_signed_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int, int]],
+        labels: Sequence[str] | None = None,
+    ) -> "SignedGraph":
+        """Build a graph from ``(u, v, sign)`` triples."""
+        graph = cls(n, labels=labels)
+        for u, v, sign in edges:
+            graph.add_edge(u, v, sign)
+        return graph
+
+    def copy(self) -> "SignedGraph":
+        """Return a deep copy (labels included)."""
+        clone = SignedGraph(self.num_vertices, labels=self._labels)
+        clone._pos = [set(adj) for adj in self._pos]
+        clone._neg = [set(adj) for adj in self._neg]
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """``n = |V|``."""
+        return len(self._pos)
+
+    @property
+    def num_edges(self) -> int:
+        """``m = |E+| + |E-|``."""
+        return self.num_positive_edges + self.num_negative_edges
+
+    @property
+    def num_positive_edges(self) -> int:
+        """``|E+|``."""
+        return sum(len(adj) for adj in self._pos) // 2
+
+    @property
+    def num_negative_edges(self) -> int:
+        """``|E-|``."""
+        return sum(len(adj) for adj in self._neg) // 2
+
+    @property
+    def negative_ratio(self) -> float:
+        """``|E-| / |E|`` — the statistic reported in Table I."""
+        m = self.num_edges
+        return self.num_negative_edges / m if m else 0.0
+
+    def vertices(self) -> range:
+        """Iterate vertex ids ``0..n-1``."""
+        return range(self.num_vertices)
+
+    def label(self, v: int) -> str:
+        """Human-readable label of ``v`` (falls back to ``str(v)``)."""
+        if self._labels is None:
+            return str(v)
+        return self._labels[v]
+
+    def labels(self) -> list[str]:
+        """Labels for all vertices (generated if none were attached)."""
+        if self._labels is None:
+            return [str(v) for v in self.vertices()]
+        return list(self._labels)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def pos_neighbors(self, v: int) -> set[int]:
+        """``N+(v)`` — the set of positive neighbours of ``v``.
+
+        The returned set is the live internal set; callers must not
+        mutate it.
+        """
+        return self._pos[v]
+
+    def neg_neighbors(self, v: int) -> set[int]:
+        """``N-(v)`` — the set of negative neighbours of ``v``."""
+        return self._neg[v]
+
+    def neighbors(self, v: int) -> set[int]:
+        """``N(v) = N+(v) ∪ N-(v)`` (a fresh set)."""
+        return self._pos[v] | self._neg[v]
+
+    def pos_degree(self, v: int) -> int:
+        """``d+(v)``."""
+        return len(self._pos[v])
+
+    def neg_degree(self, v: int) -> int:
+        """``d-(v)``."""
+        return len(self._neg[v])
+
+    def degree(self, v: int) -> int:
+        """``d(v) = d+(v) + d-(v)``."""
+        return len(self._pos[v]) + len(self._neg[v])
+
+    def sign(self, u: int, v: int) -> int | None:
+        """Sign of edge ``(u, v)``: ``+1``, ``-1`` or ``None`` if absent."""
+        if v in self._pos[u]:
+            return POSITIVE
+        if v in self._neg[u]:
+            return NEGATIVE
+        return None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether any edge (either sign) joins ``u`` and ``v``."""
+        return v in self._pos[u] or v in self._neg[u]
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Yield each edge once as ``(u, v, sign)`` with ``u < v``."""
+        for u in self.vertices():
+            for v in self._pos[u]:
+                if u < v:
+                    yield u, v, POSITIVE
+            for v in self._neg[u]:
+                if u < v:
+                    yield u, v, NEGATIVE
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: str | None = None) -> int:
+        """Append a vertex; returns its id."""
+        self._pos.append(set())
+        self._neg.append(set())
+        if self._labels is not None:
+            self._labels.append(label if label is not None
+                                else str(len(self._pos) - 1))
+        elif label is not None:
+            self._labels = [str(v) for v in range(len(self._pos) - 1)]
+            self._labels.append(label)
+        return len(self._pos) - 1
+
+    def add_edge(self, u: int, v: int, sign: int) -> None:
+        """Insert edge ``(u, v)`` with the given sign.
+
+        Raises
+        ------
+        ValueError
+            on self-loops, out-of-range endpoints, invalid signs, or if
+            the edge already exists with the *opposite* sign (the paper
+            assumes ``E+ ∩ E- = ∅``).
+        """
+        if sign not in (POSITIVE, NEGATIVE):
+            raise ValueError(f"sign must be +1 or -1, got {sign!r}")
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        n = self.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+        other = self._neg if sign == POSITIVE else self._pos
+        if v in other[u]:
+            raise ValueError(
+                f"edge ({u}, {v}) already present with opposite sign")
+        target = self._pos if sign == POSITIVE else self._neg
+        target[u].add(v)
+        target[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the edge ``(u, v)`` whatever its sign."""
+        if v in self._pos[u]:
+            self._pos[u].discard(v)
+            self._pos[v].discard(u)
+        elif v in self._neg[u]:
+            self._neg[u].discard(v)
+            self._neg[v].discard(u)
+        else:
+            raise KeyError(f"no edge between {u} and {v}")
+
+    def isolate_vertex(self, v: int) -> None:
+        """Remove all edges incident to ``v`` (used by peeling reductions)."""
+        for u in self._pos[v]:
+            self._pos[u].discard(v)
+        for u in self._neg[v]:
+            self._neg[u].discard(v)
+        self._pos[v] = set()
+        self._neg[v] = set()
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(
+        self, vertices: Iterable[int]
+    ) -> tuple["SignedGraph", list[int]]:
+        """Vertex-induced subgraph ``G[S]`` with relabelled vertices.
+
+        Returns the subgraph plus ``mapping`` where ``mapping[new_id]``
+        is the original vertex id, so results can be translated back.
+        """
+        mapping = sorted(set(vertices))
+        index: dict[int, int] = {old: new for new, old in enumerate(mapping)}
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[old] for old in mapping]
+        sub = SignedGraph(len(mapping), labels=labels)
+        for new_u, old_u in enumerate(mapping):
+            for old_v in self._pos[old_u]:
+                new_v = index.get(old_v)
+                if new_v is not None and new_u < new_v:
+                    sub._pos[new_u].add(new_v)
+                    sub._pos[new_v].add(new_u)
+            for old_v in self._neg[old_u]:
+                new_v = index.get(old_v)
+                if new_v is not None and new_u < new_v:
+                    sub._neg[new_u].add(new_v)
+                    sub._neg[new_v].add(new_u)
+        return sub, mapping
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on breakage.
+
+        Intended for tests and after bulk construction — verifies
+        symmetry, sign-disjointness and absence of self-loops.
+        """
+        n = self.num_vertices
+        for v in self.vertices():
+            assert v not in self._pos[v], f"positive self-loop at {v}"
+            assert v not in self._neg[v], f"negative self-loop at {v}"
+            overlap = self._pos[v] & self._neg[v]
+            assert not overlap, f"vertex {v} has double-signed edges {overlap}"
+            for u in self._pos[v]:
+                assert 0 <= u < n and v in self._pos[u], \
+                    f"asymmetric positive edge ({v}, {u})"
+            for u in self._neg[v]:
+                assert 0 <= u < n and v in self._neg[u], \
+                    f"asymmetric negative edge ({v}, {u})"
+
+    def degree_statistics(self) -> Mapping[str, float]:
+        """Summary statistics used by dataset reports."""
+        n = self.num_vertices
+        if n == 0:
+            return {"max_degree": 0, "avg_degree": 0.0,
+                    "max_pos_degree": 0, "max_neg_degree": 0}
+        return {
+            "max_degree": max(self.degree(v) for v in self.vertices()),
+            "avg_degree": 2.0 * self.num_edges / n,
+            "max_pos_degree": max(self.pos_degree(v)
+                                  for v in self.vertices()),
+            "max_neg_degree": max(self.neg_degree(v)
+                                  for v in self.vertices()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SignedGraph(n={self.num_vertices}, "
+                f"m+={self.num_positive_edges}, "
+                f"m-={self.num_negative_edges})")

@@ -1,0 +1,108 @@
+"""Reading and writing signed graphs.
+
+The on-disk format is a plain text edge list, one edge per line::
+
+    # comment lines start with '#'
+    <u> <v> <sign>
+
+where ``sign`` is ``1``/``+``/``+1`` or ``-1``/``-``.  This matches the
+format of the SNAP signed networks (soc-sign-bitcoin etc.) after their
+header is stripped, so real datasets drop in directly when available.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Iterator
+
+from .graph import NEGATIVE, POSITIVE, SignedGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_lines",
+    "load_signed_graph",
+    "save_signed_graph",
+]
+
+_POSITIVE_TOKENS = {"1", "+1", "+"}
+_NEGATIVE_TOKENS = {"-1", "-"}
+
+
+def parse_edge_lines(
+    lines: Iterable[str],
+) -> Iterator[tuple[int, int, int]]:
+    """Parse edge-list lines into ``(u, v, sign)`` triples.
+
+    Blank lines and ``#`` comments are skipped.  Raises ``ValueError``
+    with the offending line number for malformed input.
+    """
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(
+                f"line {lineno}: expected 'u v sign', got {line!r}")
+        try:
+            u = int(parts[0])
+            v = int(parts[1])
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: non-integer endpoint in {line!r}") from exc
+        token = parts[2]
+        if token in _POSITIVE_TOKENS:
+            sign = POSITIVE
+        elif token in _NEGATIVE_TOKENS:
+            sign = NEGATIVE
+        else:
+            raise ValueError(
+                f"line {lineno}: sign must be +1/-1, got {token!r}")
+        yield u, v, sign
+
+
+def read_edge_list(stream: IO[str]) -> SignedGraph:
+    """Read a signed graph from an open text stream.
+
+    Vertex ids may be sparse; they are compacted to ``0..n-1`` in order
+    of first appearance of the sorted id set.  Duplicate edges with the
+    same sign are merged silently; a duplicate with conflicting sign
+    raises ``ValueError``.
+    """
+    triples = list(parse_edge_lines(stream))
+    ids = sorted({u for u, _, _ in triples} | {v for _, v, _ in triples})
+    index = {old: new for new, old in enumerate(ids)}
+    graph = SignedGraph(len(ids))
+    for u, v, sign in triples:
+        a, b = index[u], index[v]
+        if graph.sign(a, b) == sign:
+            continue
+        try:
+            graph.add_edge(a, b, sign)
+        except ValueError as exc:
+            raise ValueError(
+                f"conflicting duplicate edge ({u}, {v})") from exc
+    return graph
+
+
+def write_edge_list(graph: SignedGraph, stream: IO[str]) -> None:
+    """Write ``graph`` in the edge-list format."""
+    stream.write(f"# signed graph: n={graph.num_vertices} "
+                 f"m={graph.num_edges}\n")
+    for u, v, sign in graph.edges():
+        stream.write(f"{u} {v} {sign}\n")
+
+
+def load_signed_graph(path: str | os.PathLike[str]) -> SignedGraph:
+    """Load a signed graph from ``path`` (edge-list format)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_edge_list(handle)
+
+
+def save_signed_graph(
+    graph: SignedGraph, path: str | os.PathLike[str]
+) -> None:
+    """Save ``graph`` to ``path`` (edge-list format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_edge_list(graph, handle)

@@ -1,0 +1,127 @@
+"""Signed triangle census and the graph balance degree.
+
+Triangles are the local unit of structural balance: a triangle is
+*balanced* when the product of its edge signs is positive (``+++`` or
+``+--``) and *unbalanced* otherwise (``++-`` or ``---``).  The classic
+*balance degree* of a signed graph is the fraction of its triangles
+that are balanced — a standard descriptive statistic for the Table I
+datasets, and the quantity ``EdgeReduction`` [13] reasons about
+per-edge (a balanced-clique edge must close enough sign-compatible
+triangles).
+
+:func:`triangle_census` counts all four sign patterns in
+``O(sum_v d(v)^2)`` using neighbourhood intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import SignedGraph
+
+__all__ = ["TriangleCensus", "triangle_census", "balance_degree",
+           "edge_triangle_profile"]
+
+
+@dataclass(frozen=True)
+class TriangleCensus:
+    """Counts of the four signed-triangle types."""
+
+    #: All edges positive (balanced).
+    ppp: int = 0
+    #: One positive, two negative (balanced).
+    pnn: int = 0
+    #: Two positive, one negative (unbalanced).
+    ppn: int = 0
+    #: All negative (unbalanced).
+    nnn: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.ppp + self.pnn + self.ppn + self.nnn
+
+    @property
+    def balanced(self) -> int:
+        """Triangles with a positive sign product."""
+        return self.ppp + self.pnn
+
+    @property
+    def unbalanced(self) -> int:
+        return self.ppn + self.nnn
+
+    @property
+    def balance_degree(self) -> float:
+        """Fraction of balanced triangles (1.0 for triangle-free)."""
+        if self.total == 0:
+            return 1.0
+        return self.balanced / self.total
+
+
+def triangle_census(graph: SignedGraph) -> TriangleCensus:
+    """Count every triangle of ``graph`` by sign pattern.
+
+    Each triangle is counted exactly once (via its lowest-id vertex
+    ordering).
+    """
+    ppp = pnn = ppn = nnn = 0
+    for u in graph.vertices():
+        pos_u = graph.pos_neighbors(u)
+        neg_u = graph.neg_neighbors(u)
+        higher_pos = {v for v in pos_u if v > u}
+        higher_neg = {v for v in neg_u if v > u}
+        for v in higher_pos:
+            for w in (graph.pos_neighbors(v) & higher_pos):
+                if w > v:
+                    ppp += 1                  # + + +
+            for w in (graph.neg_neighbors(v) & higher_pos):
+                if w > v:
+                    ppn += 1                  # + + -
+            for w in (graph.pos_neighbors(v) & higher_neg):
+                if w > v:
+                    ppn += 1                  # + - +
+            for w in (graph.neg_neighbors(v) & higher_neg):
+                if w > v:
+                    pnn += 1                  # + - -
+        for v in higher_neg:
+            for w in (graph.pos_neighbors(v) & higher_pos):
+                if w > v:
+                    ppn += 1                  # - + +
+            for w in (graph.neg_neighbors(v) & higher_pos):
+                if w > v:
+                    pnn += 1                  # - + -
+            for w in (graph.pos_neighbors(v) & higher_neg):
+                if w > v:
+                    pnn += 1                  # - - +
+            for w in (graph.neg_neighbors(v) & higher_neg):
+                if w > v:
+                    nnn += 1                  # - - -
+    return TriangleCensus(ppp=ppp, pnn=pnn, ppn=ppn, nnn=nnn)
+
+
+def balance_degree(graph: SignedGraph) -> float:
+    """Fraction of balanced triangles (convenience wrapper)."""
+    return triangle_census(graph).balance_degree
+
+
+def edge_triangle_profile(
+    graph: SignedGraph, u: int, v: int
+) -> dict[str, int]:
+    """Sign-typed triangle counts through one edge ``(u, v)``.
+
+    Keys mirror the quantities ``EdgeReduction`` needs:
+
+    * ``pos_pos`` — third vertices positive to both endpoints,
+    * ``neg_neg`` — negative to both,
+    * ``pos_neg`` — positive to ``u``, negative to ``v``,
+    * ``neg_pos`` — negative to ``u``, positive to ``v``.
+
+    Raises ``KeyError`` if the edge is absent.
+    """
+    if not graph.has_edge(u, v):
+        raise KeyError(f"no edge between {u} and {v}")
+    return {
+        "pos_pos": len(graph.pos_neighbors(u) & graph.pos_neighbors(v)),
+        "neg_neg": len(graph.neg_neighbors(u) & graph.neg_neighbors(v)),
+        "pos_neg": len(graph.pos_neighbors(u) & graph.neg_neighbors(v)),
+        "neg_pos": len(graph.neg_neighbors(u) & graph.pos_neighbors(v)),
+    }

@@ -1,0 +1,26 @@
+"""Unsigned-graph substrate: cores, orderings, colouring, max clique."""
+
+from .graph import UnsignedGraph
+from .cores import core_numbers, degeneracy, k_core_subset, k_core_vertices
+from .ordering import degeneracy_ordering, rank_of_ordering
+from .coloring import coloring_upper_bound, greedy_coloring, \
+    is_proper_coloring
+from .clique import maximum_clique, maximum_clique_size
+from .recolor import recolor, recoloring_upper_bound
+
+__all__ = [
+    "UnsignedGraph",
+    "core_numbers",
+    "degeneracy",
+    "k_core_subset",
+    "k_core_vertices",
+    "degeneracy_ordering",
+    "rank_of_ordering",
+    "coloring_upper_bound",
+    "greedy_coloring",
+    "is_proper_coloring",
+    "maximum_clique",
+    "maximum_clique_size",
+    "recolor",
+    "recoloring_upper_bound",
+]

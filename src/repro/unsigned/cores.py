@@ -1,0 +1,127 @@
+"""k-core decomposition and k-core reduction (unsigned).
+
+Used throughout MBC* (Algorithm 2): the input graph is reduced to its
+``|C*|``-core before the search, and each branch-and-bound node reduces
+its candidate subgraph to the ``(|C*| - |C|)``-core.
+
+Two entry points:
+
+* :func:`core_numbers` — full core decomposition via peeling (linear
+  time with bucket queues);
+* :func:`k_core_vertices` — the vertex set of the ``k``-core of a graph,
+  optionally restricted to an ``active`` vertex subset (the form the
+  branch-and-bound needs: it never materializes induced subgraphs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from .graph import UnsignedGraph
+
+__all__ = [
+    "core_numbers",
+    "k_core_vertices",
+    "k_core_subset",
+    "degeneracy",
+    "verify_core_property",
+]
+
+
+def core_numbers(graph: UnsignedGraph) -> list[int]:
+    """Core number of every vertex (peeling with bucket queues).
+
+    ``core[v]`` is the largest ``k`` such that ``v`` belongs to the
+    ``k``-core.  Runs in ``O(n + m)``.
+    """
+    n = graph.num_vertices
+    degree = [graph.degree(v) for v in range(n)]
+    max_degree = max(degree, default=0)
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for v in range(n):
+        buckets[degree[v]].append(v)
+    core = [0] * n
+    removed = [False] * n
+    current = 0
+    processed = 0
+    pointer = [0] * (max_degree + 1)
+    scan_from = 0
+    while processed < n:
+        # Find the non-empty bucket with the smallest degree.  After a
+        # vertex of degree d is peeled, neighbour degrees drop to >= d-1,
+        # so the scan can resume from d-1 instead of 0 (keeps the whole
+        # decomposition linear).
+        d = scan_from
+        while d <= max_degree and pointer[d] >= len(buckets[d]):
+            d += 1
+        if d > max_degree:
+            break
+        v = buckets[d][pointer[d]]
+        pointer[d] += 1
+        if removed[v] or degree[v] != d:
+            continue
+        scan_from = max(0, d - 1)
+        current = max(current, d)
+        core[v] = current
+        removed[v] = True
+        processed += 1
+        for u in graph.neighbors(v):
+            if not removed[u] and degree[u] > d:
+                degree[u] -= 1
+                buckets[degree[u]].append(u)
+    return core
+
+
+def k_core_vertices(graph: UnsignedGraph, k: int) -> set[int]:
+    """Vertex set of the ``k``-core of ``graph``.
+
+    The ``k``-core is the (unique, possibly empty) maximal subgraph with
+    minimum degree at least ``k``.
+    """
+    return k_core_subset(graph, k, graph.vertices())
+
+
+def k_core_subset(
+    graph: UnsignedGraph, k: int, active: Iterable[int]
+) -> set[int]:
+    """``k``-core of the subgraph induced by ``active``.
+
+    Iteratively removes vertices whose degree *within the active set*
+    drops below ``k``.  Returns the set of surviving vertices.
+    """
+    alive = set(active)
+    if k <= 0:
+        return alive
+    degree = {v: len(graph.neighbors(v) & alive) for v in alive}
+    queue = deque(v for v, d in degree.items() if d < k)
+    queued = set(queue)
+    while queue:
+        v = queue.popleft()
+        if v not in alive:
+            continue
+        alive.discard(v)
+        for u in graph.neighbors(v):
+            if u in alive:
+                degree[u] -= 1
+                if degree[u] < k and u not in queued:
+                    queue.append(u)
+                    queued.add(u)
+    return alive
+
+
+def degeneracy(graph: UnsignedGraph) -> int:
+    """The degeneracy of ``graph`` (the largest ``k`` with non-empty
+    ``k``-core); equals ``max(core_numbers(graph))``."""
+    cores = core_numbers(graph)
+    return max(cores, default=0)
+
+
+def verify_core_property(
+    graph: UnsignedGraph, k: int, vertices: Sequence[int] | set[int]
+) -> bool:
+    """True iff every vertex of ``vertices`` has ``>= k`` neighbours in
+    ``vertices`` (test helper)."""
+    vertex_set = set(vertices)
+    return all(
+        len(graph.neighbors(v) & vertex_set) >= k for v in vertex_set)

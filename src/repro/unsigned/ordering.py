@@ -1,0 +1,60 @@
+"""Vertex orderings for the search algorithms.
+
+MBC* (Algorithm 2) processes vertices in reverse *degeneracy ordering*
+(smallest-first ordering [29]): the first vertex has minimum degree in
+the graph, the second has minimum degree after removing the first, and
+so on.  Ego-networks built from higher-ranked neighbours then have at
+most ``degeneracy(G)`` vertices.
+"""
+
+from __future__ import annotations
+
+from .graph import UnsignedGraph
+
+__all__ = ["degeneracy_ordering", "rank_of_ordering"]
+
+
+def degeneracy_ordering(graph: UnsignedGraph) -> list[int]:
+    """Smallest-first (degeneracy) ordering of the vertices.
+
+    Returns the peeling order: position 0 holds the globally
+    smallest-degree vertex.  A vertex "ranks higher" when it appears
+    *later* in this list.  Runs in ``O(n + m)`` using bucket queues.
+    """
+    n = graph.num_vertices
+    degree = [graph.degree(v) for v in range(n)]
+    max_degree = max(degree, default=0)
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for v in range(n):
+        buckets[degree[v]].append(v)
+    pointer = [0] * (max_degree + 1)
+    removed = [False] * n
+    order: list[int] = []
+    scan_from = 0
+    while len(order) < n:
+        d = scan_from
+        while d <= max_degree and pointer[d] >= len(buckets[d]):
+            d += 1
+        if d > max_degree:
+            break
+        v = buckets[d][pointer[d]]
+        pointer[d] += 1
+        if removed[v] or degree[v] != d:
+            continue
+        scan_from = max(0, d - 1)
+        removed[v] = True
+        order.append(v)
+        for u in graph.neighbors(v):
+            if not removed[u]:
+                degree[u] -= 1
+                buckets[degree[u]].append(u)
+    return order
+
+
+def rank_of_ordering(order: list[int]) -> list[int]:
+    """Inverse permutation: ``rank[v]`` is the position of ``v`` in
+    ``order`` (higher rank = later = processed earlier by MBC*)."""
+    rank = [0] * len(order)
+    for position, v in enumerate(order):
+        rank[v] = position
+    return rank

@@ -1,0 +1,113 @@
+"""Recolouring-improved clique upper bound (after Tomita [26]).
+
+The paper's Related Work points to graph *recolouring* as one of the
+advanced techniques of modern maximum-clique solvers.  The idea: after
+a greedy colouring, a vertex ``v`` in the highest colour class may be
+*re-numbered* into a lower class ``c1`` if it conflicts with exactly
+one vertex ``w`` there and ``w`` itself can move to another class
+``c2`` (a 2-swap).  Emptying the top class lowers the bound by one.
+
+:func:`recoloring_upper_bound` applies the swap repeatedly; the result
+is still a proper colouring, hence still a valid clique upper bound
+(Lemma 2), and never worse than the plain greedy bound.  The ablation
+benchmark ``bench_ablation_bounds`` quantifies how much tighter it is
+on dichromatic networks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .coloring import greedy_coloring
+from .graph import UnsignedGraph
+
+__all__ = ["recoloring_upper_bound", "recolor"]
+
+
+def recolor(
+    graph: UnsignedGraph,
+    active: Iterable[int] | None = None,
+) -> dict[int, int]:
+    """Greedy colouring improved by 2-swap re-numbering.
+
+    Returns a proper colouring using at most as many colours as
+    :func:`repro.unsigned.coloring.greedy_coloring`.
+    """
+    colors = greedy_coloring(graph, active)
+    if not colors:
+        return colors
+    vertex_set = set(colors)
+
+    def classes() -> dict[int, set[int]]:
+        by_color: dict[int, set[int]] = {}
+        for v, c in colors.items():
+            by_color.setdefault(c, set()).add(v)
+        return by_color
+
+    improved = True
+    while improved:
+        improved = False
+        by_color = classes()
+        top = max(by_color)
+        if top == 0:
+            break
+        movable = True
+        for v in list(by_color[top]):
+            if _try_renumber(graph, colors, by_color, v, top,
+                             vertex_set):
+                continue
+            movable = False
+            break
+        if movable and not by_color[top]:
+            # Top class emptied entirely; loop to try the next one.
+            improved = True
+    return colors
+
+
+def _try_renumber(
+    graph: UnsignedGraph,
+    colors: dict[int, int],
+    by_color: dict[int, set[int]],
+    v: int,
+    top: int,
+    vertex_set: set[int],
+) -> bool:
+    """Move ``v`` out of the top class via a 2-swap if possible."""
+    neighbors = graph.neighbors(v) & vertex_set
+    for c1 in range(top):
+        conflicts = [u for u in by_color.get(c1, ())
+                     if u in neighbors]
+        if not conflicts:
+            colors[v] = c1
+            by_color[top].discard(v)
+            by_color.setdefault(c1, set()).add(v)
+            return True
+        if len(conflicts) != 1:
+            continue
+        w = conflicts[0]
+        w_neighbors = graph.neighbors(w) & vertex_set
+        for c2 in range(top):
+            if c2 == c1:
+                continue
+            if any(colors.get(x) == c2 for x in w_neighbors):
+                continue
+            # Swap: w -> c2, v -> c1.
+            colors[w] = c2
+            by_color[c1].discard(w)
+            by_color.setdefault(c2, set()).add(w)
+            colors[v] = c1
+            by_color[top].discard(v)
+            by_color[c1].add(v)
+            return True
+    return False
+
+
+def recoloring_upper_bound(
+    graph: UnsignedGraph,
+    active: Iterable[int] | None = None,
+) -> int:
+    """Clique upper bound from the recoloured colouring."""
+    colors = recolor(graph, active)
+    if not colors:
+        return 0
+    return max(colors.values()) + 1

@@ -1,0 +1,80 @@
+"""Tests for the ablation switches of MBC* and MDC.
+
+Every configuration must stay *exact* (the switches only change how
+much is pruned), and the instrumentation should show the pruning rules
+actually reduce work.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force_maximum_balanced_clique
+from repro.core.mbc_star import mbc_star
+from repro.core.stats import SearchStats
+from repro.datasets.registry import load
+from repro.dichromatic.mdc import solve_mdc
+
+from .conftest import signed_graphs
+from .test_mdc_dcc import dichromatic_graphs, oracle_maximum
+
+ORDERINGS = ["degeneracy", "degree", "id"]
+
+
+class TestMBCStarAblations:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_orderings_exact_on_fixture(self, toy_figure2, ordering):
+        assert mbc_star(toy_figure2, 2, ordering=ordering).size == 6
+
+    def test_unknown_ordering_rejected(self, toy_figure2):
+        with pytest.raises(ValueError):
+            mbc_star(toy_figure2, 2, ordering="nope")
+
+    @pytest.mark.parametrize("use_coloring", [True, False])
+    @pytest.mark.parametrize("use_core", [True, False])
+    def test_prune_toggles_exact_on_fixture(
+            self, toy_figure2, use_coloring, use_core):
+        clique = mbc_star(toy_figure2, 2, use_coloring=use_coloring,
+                          use_core=use_core)
+        assert clique.size == 6
+
+    @given(signed_graphs(max_vertices=9),
+           st.sampled_from(ORDERINGS),
+           st.booleans(), st.booleans(),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=60, deadline=None)
+    def test_all_configurations_exact(
+            self, graph, ordering, use_coloring, use_core, tau):
+        expected = brute_force_maximum_balanced_clique(graph, tau).size
+        found = mbc_star(graph, tau, ordering=ordering,
+                         use_coloring=use_coloring, use_core=use_core)
+        assert found.size == expected
+
+    def test_pruning_reduces_instances(self):
+        """With both rules off, strictly more MDC instances launch on
+        a realistic graph."""
+        graph = load("epinions", scale=0.5)
+        full = SearchStats()
+        mbc_star(graph, 3, stats=full)
+        stripped = SearchStats()
+        mbc_star(graph, 3, stats=stripped,
+                 use_coloring=False, use_core=False)
+        assert stripped.instances >= full.instances
+        assert stripped.nodes >= full.nodes
+
+
+class TestMDCAblations:
+    @given(dichromatic_graphs(),
+           st.integers(min_value=0, max_value=2),
+           st.integers(min_value=0, max_value=2),
+           st.booleans(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_all_configurations_exact(
+            self, graph, tau_l, tau_r, use_coloring, use_core):
+        expected = oracle_maximum(graph, tau_l, tau_r)
+        found = solve_mdc(graph, tau_l, tau_r, must_exceed=0,
+                          use_coloring=use_coloring, use_core=use_core)
+        if found is None:
+            assert expected == 0
+        else:
+            assert len(found) == expected

@@ -1,0 +1,127 @@
+"""Tests for structural-balance checking and side splitting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.balance import is_balanced_clique, is_clique, split_sides
+from repro.core.bruteforce import enumerate_balanced_cliques
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestIsClique:
+    def test_clique_any_signs(self, toy_figure2):
+        assert is_clique(toy_figure2, [0, 1, 2, 3])
+
+    def test_missing_edge(self, toy_figure2):
+        assert not is_clique(toy_figure2, [0, 4])
+
+    def test_empty_and_singleton(self, toy_figure2):
+        assert is_clique(toy_figure2, [])
+        assert is_clique(toy_figure2, [5])
+
+
+class TestSplitSides:
+    def test_balanced_four(self, toy_figure2):
+        sides = split_sides(toy_figure2, [0, 1, 2, 3])
+        assert sides is not None
+        left, right = sides
+        assert {frozenset(left), frozenset(right)} == {
+            frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_all_positive_is_one_sided(self, all_positive_clique):
+        sides = split_sides(all_positive_clique, range(5))
+        assert sides is not None
+        left, right = sides
+        assert {len(left), len(right)} == {5, 0}
+
+    def test_empty_set(self, toy_figure2):
+        assert split_sides(toy_figure2, []) == (set(), set())
+
+    def test_singleton(self, toy_figure2):
+        sides = split_sides(toy_figure2, [4])
+        assert sides == ({4}, set())
+
+    def test_non_clique_rejected(self, toy_figure2):
+        assert split_sides(toy_figure2, [0, 4]) is None
+
+    def test_unbalanced_triangle_rejected(self):
+        # Two positive edges and one negative edge: v0-v1 +, v1-v2 +,
+        # v0-v2 - cannot be two-sided.
+        graph = SignedGraph.from_edges(
+            3, positive_edges=[(0, 1), (1, 2)], negative_edges=[(0, 2)])
+        assert split_sides(graph, [0, 1, 2]) is None
+
+    def test_all_negative_triangle_rejected(self):
+        graph = SignedGraph.from_edges(
+            3, negative_edges=[(0, 1), (1, 2), (0, 2)])
+        assert split_sides(graph, [0, 1, 2]) is None
+
+    def test_negative_pair_is_balanced(self):
+        graph = SignedGraph.from_edges(2, negative_edges=[(0, 1)])
+        sides = split_sides(graph, [0, 1])
+        assert sides is not None
+        assert {len(s) for s in sides} == {1}
+
+    def test_deterministic_side_order(self, toy_figure2):
+        left, right = split_sides(toy_figure2, [0, 1, 2, 3])
+        assert min(left) < min(right)
+
+    def test_sides_partition_input(self, toy_figure2):
+        left, right = split_sides(toy_figure2, [2, 3, 4, 5, 6, 7])
+        assert left | right == {2, 3, 4, 5, 6, 7}
+        assert not (left & right)
+
+
+class TestIsBalancedClique:
+    def test_tau_zero(self, all_positive_clique):
+        assert is_balanced_clique(all_positive_clique, range(5), tau=0)
+
+    def test_tau_one_fails_one_sided(self, all_positive_clique):
+        assert not is_balanced_clique(
+            all_positive_clique, range(5), tau=1)
+
+    def test_figure2_tau2(self, toy_figure2):
+        assert is_balanced_clique(
+            toy_figure2, [2, 3, 4, 5, 6, 7], tau=2)
+
+    def test_figure2_tau3_fails(self, toy_figure2):
+        assert not is_balanced_clique(
+            toy_figure2, [2, 3, 4, 5, 6, 7], tau=3)
+
+    def test_non_clique(self, toy_figure2):
+        assert not is_balanced_clique(toy_figure2, [0, 5])
+
+
+class TestAgainstBruteForce:
+    @given(signed_graphs(max_vertices=8))
+    @settings(max_examples=40, deadline=None)
+    def test_split_agrees_with_enumeration(self, graph):
+        """Every clique reported balanced by the oracle splits, and
+        the split sides reproduce the clique."""
+        for clique in enumerate_balanced_cliques(graph):
+            sides = split_sides(graph, clique.vertices)
+            assert sides is not None
+            left, right = sides
+            assert left | right == set(clique.vertices)
+
+    @given(signed_graphs(max_vertices=8))
+    @settings(max_examples=40, deadline=None)
+    def test_split_validates_signs(self, graph):
+        """Whenever split_sides succeeds, the sign pattern is balanced:
+        positive within sides, negative across."""
+        import itertools
+
+        vertices = list(graph.vertices())
+        for size in (2, 3):
+            for combo in itertools.combinations(vertices, size):
+                sides = split_sides(graph, combo)
+                if sides is None:
+                    continue
+                left, right = sides
+                for u, v in itertools.combinations(combo, 2):
+                    sign = graph.sign(u, v)
+                    assert sign is not None
+                    same = (u in left) == (v in left)
+                    assert sign == (POSITIVE if same else NEGATIVE)

@@ -1,0 +1,121 @@
+"""Tests for the dataset registry and case studies."""
+
+import pytest
+
+from repro.core.balance import is_balanced_clique
+from repro.datasets.casestudies import ppi_case_study, reddit_case_study, \
+    wordnet_case_study
+from repro.datasets.registry import DATASETS, dataset_names, load, \
+    load_spec
+
+
+class TestRegistry:
+    def test_fourteen_datasets(self):
+        assert len(dataset_names()) == 14
+
+    def test_names_match_table1(self):
+        expected = {
+            "bitcoin", "adjwordnet", "reddit", "referendum", "epinions",
+            "wikiconflict", "amazon", "bookcross", "dblp", "douban",
+            "tripadvisor", "yahoosong", "sn1", "sn2"}
+        assert set(dataset_names()) == expected
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_load_spec_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_spec("nope")
+
+    def test_load_case_insensitive(self):
+        assert load("Bitcoin") is load("bitcoin")
+
+    def test_generation_cached(self):
+        assert load("reddit") is load("reddit")
+
+    def test_scaled_variant_smaller(self):
+        full = load("epinions")
+        small = load("epinions", scale=0.3)
+        assert small.num_vertices < full.num_vertices
+        assert small.num_edges < full.num_edges
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_graph_validates(self, name):
+        load(name, scale=0.3).validate()
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_planted_polarized_clique_present(self, name):
+        spec = load_spec(name)
+        graph = load(name)
+        left, right = spec.polarized
+        members = range(left + right)
+        assert is_balanced_clique(graph, members, tau=min(left, right))
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_negative_ratio_near_target(self, name):
+        spec = load_spec(name)
+        graph = load(name)
+        assert graph.negative_ratio == pytest.approx(
+            spec.neg_ratio, abs=0.12)
+
+    def test_paper_reference_attached(self):
+        spec = load_spec("douban")
+        assert spec.paper_reference[0] == 1588455
+
+    def test_srn_family_used(self):
+        assert load_spec("sn1").family == "srn"
+        assert load_spec("sn2").family == "srn"
+
+
+class TestCaseStudies:
+    def test_reddit_labels(self):
+        graph = reddit_case_study()
+        assert "subredditdrama" in graph.labels()
+        assert graph.label(0) == "videos"
+
+    def test_reddit_conflict_planted(self):
+        graph = reddit_case_study()
+        assert is_balanced_clique(graph, range(8), tau=3)
+
+    def test_reddit_mbc_finds_conflict(self):
+        from repro.core.mbc_star import mbc_star
+
+        graph = reddit_case_study()
+        clique = mbc_star(graph, 3)
+        names = {graph.label(v) for v in clique.vertices}
+        assert {"subredditdrama", "trueredditdrama", "drama"} <= names
+
+    def test_wordnet_good_vs_bad(self):
+        graph = wordnet_case_study()
+        labels = graph.labels()
+        assert "good" in labels and "terrible" in labels
+
+    def test_wordnet_clique_is_antonymous(self):
+        from repro.core.mbc_star import mbc_star
+
+        graph = wordnet_case_study()
+        clique = mbc_star(graph, 10)
+        assert clique.size >= 32
+        left_names = {graph.label(v) for v in clique.left}
+        right_names = {graph.label(v) for v in clique.right}
+        good = {"good", "better", "best"}
+        bad = {"bad", "worse", "worst"}
+        assert good <= left_names or good <= right_names
+        assert bad <= left_names or bad <= right_names
+        assert not (good <= left_names and bad <= left_names)
+
+    def test_ppi_complexes(self):
+        graph = ppi_case_study(complexes=2, proteins_per_complex=4)
+        assert graph.num_vertices == 16
+        assert is_balanced_clique(graph, range(8), tau=4)
+
+    def test_ppi_deterministic(self):
+        a = ppi_case_study(seed=3)
+        b = ppi_case_study(seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_case_studies_validate(self):
+        reddit_case_study().validate()
+        wordnet_case_study().validate()
+        ppi_case_study().validate()

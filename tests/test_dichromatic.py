@@ -1,0 +1,244 @@
+"""Tests for the dichromatic substrate: graph, transformation, cores.
+
+The transformation tests cover the two directions of Theorem 2:
+*soundness* (every clique of ``g_u`` plus ``u`` is a balanced clique of
+``G``) and *completeness* (every balanced clique containing ``u``
+survives conflict-edge removal).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance import is_balanced_clique, split_sides
+from repro.dichromatic.build import build_dichromatic_network, \
+    ego_network_edge_count
+from repro.dichromatic.cores import bicore_active, \
+    coloring_upper_bound_active, k_core_active
+from repro.dichromatic.graph import DichromaticGraph
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestDichromaticGraph:
+    def test_basic(self):
+        graph = DichromaticGraph([True, True, False])
+        graph.add_edge(0, 2)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 1
+        assert graph.left_vertices() == {0, 1}
+        assert graph.right_vertices() == {2}
+
+    def test_origin_defaults_to_identity(self):
+        graph = DichromaticGraph([True, False])
+        assert graph.origin == [0, 1]
+
+    def test_origin_length_checked(self):
+        with pytest.raises(ValueError):
+            DichromaticGraph([True, False], origin=[7])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DichromaticGraph([True]).add_edge(0, 0)
+
+    def test_side_counts(self):
+        graph = DichromaticGraph([True, False, False])
+        assert graph.side_counts([0, 1, 2]) == (1, 2)
+
+    def test_to_original(self):
+        graph = DichromaticGraph([True, False], origin=[10, 20])
+        assert graph.to_original([1]) == {20}
+
+    def test_is_clique(self):
+        graph = DichromaticGraph([True, False, True])
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert graph.is_clique([0, 1])
+        assert not graph.is_clique([0, 1, 2])
+
+
+class TestTransformation:
+    def test_figure4_style_example(self):
+        """Conflicting edges disappear; compatible ones survive."""
+        graph = SignedGraph.from_edges(
+            6,
+            positive_edges=[(0, 1), (0, 2), (1, 2), (3, 4)],
+            negative_edges=[(0, 3), (0, 4), (1, 3), (2, 4), (1, 4),
+                            (0, 5), (3, 5)])
+        network = build_dichromatic_network(graph, 0)
+        by_origin = {orig: idx for idx, orig in enumerate(network.origin)}
+        # Vertices: positive neighbours {1, 2} are L; {3, 4, 5} are R.
+        assert network.is_left[by_origin[1]]
+        assert not network.is_left[by_origin[3]]
+        # (1, 2) positive within L survives.
+        assert network.has_edge(by_origin[1], by_origin[2])
+        # (3, 4) positive within R survives.
+        assert network.has_edge(by_origin[3], by_origin[4])
+        # (1, 3) negative across survives.
+        assert network.has_edge(by_origin[1], by_origin[3])
+        # (3, 5) negative within R is conflicting: removed.
+        assert not network.has_edge(by_origin[3], by_origin[5])
+
+    def test_excludes_anchor(self):
+        graph = SignedGraph.from_edges(
+            3, positive_edges=[(0, 1)], negative_edges=[(0, 2)])
+        network = build_dichromatic_network(graph, 0)
+        assert 0 not in network.origin
+        assert set(network.origin) == {1, 2}
+
+    def test_allowed_filter(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1), (0, 2)], negative_edges=[(0, 3)])
+        network = build_dichromatic_network(graph, 0, allowed={2, 3})
+        assert set(network.origin) == {2, 3}
+
+    def test_ego_edge_count(self):
+        graph = SignedGraph.from_edges(
+            4,
+            positive_edges=[(0, 1), (0, 2), (1, 2)],
+            negative_edges=[(0, 3), (1, 3)])
+        # Neighbours of 0 are {1, 2, 3}; edges among them: (1,2), (1,3).
+        assert ego_network_edge_count(graph, 0) == 2
+
+    def test_ego_edge_count_with_allowed(self):
+        graph = SignedGraph.from_edges(
+            4,
+            positive_edges=[(0, 1), (0, 2), (1, 2)],
+            negative_edges=[(0, 3), (1, 3)])
+        assert ego_network_edge_count(graph, 0, allowed={1, 2}) == 1
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_soundness(self, graph):
+        """Every clique of g_u, plus u, is a balanced clique of G."""
+        for u in graph.vertices():
+            network = build_dichromatic_network(graph, u)
+            vertices = list(network.vertices())
+            for size in (1, 2, 3):
+                for combo in itertools.combinations(vertices, size):
+                    if not network.is_clique(combo):
+                        continue
+                    members = network.to_original(combo) | {u}
+                    assert is_balanced_clique(graph, members), (
+                        f"clique {combo} of g_{u} does not map to a "
+                        f"balanced clique")
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_completeness(self, graph):
+        """Every balanced clique containing u appears as a clique of
+        g_u with matching side labels."""
+        from repro.core.bruteforce import enumerate_balanced_cliques
+
+        for clique in enumerate_balanced_cliques(graph):
+            u = min(clique.vertices)
+            # u's side of the split is the L side of g_u.
+            u_side = clique.left if u in clique.left else clique.right
+            other = clique.right if u in clique.left else clique.left
+            network = build_dichromatic_network(graph, u)
+            by_origin = {orig: idx
+                         for idx, orig in enumerate(network.origin)}
+            local = [by_origin[v] for v in clique.vertices if v != u]
+            assert network.is_clique(local)
+            for v in u_side - {u}:
+                assert network.is_left[by_origin[v]]
+            for v in other:
+                assert not network.is_left[by_origin[v]]
+
+
+class TestKCoreActive:
+    def test_reduces_to_triangle(self):
+        graph = DichromaticGraph([True, True, False, False])
+        for u, v in [(0, 1), (0, 2), (1, 2), (2, 3)]:
+            graph.add_edge(u, v)
+        survivors = k_core_active(graph, 2, set(graph.vertices()))
+        assert survivors == {0, 1, 2}
+
+    def test_zero_k_keeps_all(self):
+        graph = DichromaticGraph([True, False])
+        assert k_core_active(graph, 0, {0, 1}) == {0, 1}
+
+
+class TestBicore:
+    @pytest.fixture
+    def balanced_network(self) -> DichromaticGraph:
+        """A (2,2)-biclique-of-cliques plus a weak pendant."""
+        graph = DichromaticGraph([True, True, False, False, False])
+        for u, v in [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3),
+                     (3, 4)]:
+            graph.add_edge(u, v)
+        return graph
+
+    def test_bicore_removes_pendant(self, balanced_network):
+        survivors = bicore_active(
+            balanced_network, 2, 2, set(balanced_network.vertices()))
+        assert survivors == {0, 1, 2, 3}
+
+    def test_bicore_empty_when_infeasible(self, balanced_network):
+        survivors = bicore_active(
+            balanced_network, 3, 3, set(balanced_network.vertices()))
+        assert survivors == set()
+
+    def test_negative_thresholds_keep_all(self, balanced_network):
+        active = set(balanced_network.vertices())
+        assert bicore_active(balanced_network, -1, 0, active) == active
+
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_bicore_degree_property(self, graph, tau_l, tau_r):
+        """Survivors satisfy the per-side degree requirements."""
+        if graph.num_vertices == 0:
+            return
+        u = 0
+        network = build_dichromatic_network(graph, u)
+        survivors = bicore_active(
+            network, tau_l, tau_r, set(network.vertices()))
+        for v in survivors:
+            left_deg = sum(
+                1 for w in network.neighbors(v) & survivors
+                if network.is_left[w])
+            right_deg = len(network.neighbors(v) & survivors) - left_deg
+            if network.is_left[v]:
+                assert left_deg >= tau_l - 1
+                assert right_deg >= tau_r
+            else:
+                assert left_deg >= tau_l
+                assert right_deg >= tau_r - 1
+
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_bicore_keeps_qualifying_cliques(self, graph, tau):
+        """Every dichromatic clique meeting (tau, tau) lies inside the
+        (tau, tau)-core — the property PF* relies on."""
+        if graph.num_vertices == 0:
+            return
+        for u in graph.vertices():
+            network = build_dichromatic_network(graph, u)
+            survivors = bicore_active(
+                network, tau, tau, set(network.vertices()))
+            vertices = list(network.vertices())
+            for size in range(1, min(len(vertices), 5) + 1):
+                for combo in itertools.combinations(vertices, size):
+                    if not network.is_clique(combo):
+                        continue
+                    left, right = network.side_counts(combo)
+                    if left >= tau and right >= tau:
+                        assert set(combo) <= survivors
+
+
+class TestColoringBound:
+    def test_bound_on_triangle(self):
+        graph = DichromaticGraph([True, True, False])
+        for u, v in [(0, 1), (0, 2), (1, 2)]:
+            graph.add_edge(u, v)
+        assert coloring_upper_bound_active(graph, {0, 1, 2}) == 3
+
+    def test_bound_empty(self):
+        graph = DichromaticGraph([True])
+        assert coloring_upper_bound_active(graph, set()) == 0

@@ -1,0 +1,184 @@
+"""Edge cases and failure-injection tests across the public API.
+
+These probe the boundaries the main suites do not: degenerate graphs
+(empty, edgeless, single-edge), extreme thresholds, adversarial sign
+patterns, and the robustness contracts of the solvers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force_maximum_balanced_clique
+from repro.core.gmbc import gmbc_naive, gmbc_star
+from repro.core.heuristic import mbc_heuristic
+from repro.core.mbc_adv import mbc_adv
+from repro.core.mbc_baseline import enumerate_maximal_balanced_cliques, \
+    mbc_baseline
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_binary_search, pf_enumeration, pf_star
+from repro.core.reductions import edge_reduction, vertex_reduction
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+from .conftest import signed_graphs
+
+
+def complete_signed(n: int, sign: int) -> SignedGraph:
+    graph = SignedGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v, sign)
+    return graph
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph_all_solvers(self):
+        graph = SignedGraph(5)
+        assert mbc_star(graph, 0).size == 1
+        assert mbc_baseline(graph, 0).size == 1
+        assert mbc_adv(graph, 0).size == 1
+        assert pf_star(graph) == 0
+        assert pf_enumeration(graph) == 0
+
+    def test_single_positive_edge(self):
+        graph = SignedGraph.from_edges(2, positive_edges=[(0, 1)])
+        assert mbc_star(graph, 0).size == 2
+        assert mbc_star(graph, 1).is_empty
+        assert pf_star(graph) == 0
+
+    def test_single_negative_edge(self):
+        graph = SignedGraph.from_edges(2, negative_edges=[(0, 1)])
+        assert mbc_star(graph, 1).size == 2
+        assert mbc_star(graph, 2).is_empty
+        assert pf_star(graph) == 1
+
+    def test_single_vertex(self):
+        graph = SignedGraph(1)
+        assert mbc_star(graph, 0).size == 1
+        assert pf_star(graph) == 0
+        assert len(gmbc_star(graph)) == 1
+
+
+class TestExtremeSignPatterns:
+    def test_all_negative_complete_graph(self):
+        """An all-negative K_n has balanced cliques of size at most 2
+        (any negative triangle is unbalanced)."""
+        graph = complete_signed(6, NEGATIVE)
+        assert mbc_star(graph, 0).size == 2
+        assert pf_star(graph) == 1
+
+    def test_all_positive_complete_graph(self):
+        graph = complete_signed(6, POSITIVE)
+        assert mbc_star(graph, 0).size == 6
+        assert mbc_star(graph, 1).is_empty
+        assert pf_star(graph) == 0
+
+    def test_perfect_antipodal_clique(self):
+        """K_{n,n}-style balanced clique: beta = n."""
+        graph = SignedGraph(8)
+        for u in range(8):
+            for v in range(u + 1, 8):
+                same = (u < 4) == (v < 4)
+                graph.add_edge(u, v, POSITIVE if same else NEGATIVE)
+        assert pf_star(graph) == 4
+        assert mbc_star(graph, 4).size == 8
+
+    def test_star_of_negative_edges(self):
+        graph = SignedGraph(6)
+        for v in range(1, 6):
+            graph.add_edge(0, v, NEGATIVE)
+        # Largest balanced clique is a single negative edge.
+        assert mbc_star(graph, 1).size == 2
+        assert pf_star(graph) == 1
+
+
+class TestExtremeThresholds:
+    def test_tau_larger_than_graph(self, balanced_six):
+        assert mbc_star(balanced_six, 100).is_empty
+        assert mbc_baseline(balanced_six, 100).is_empty
+        assert mbc_adv(balanced_six, 100).is_empty
+
+    def test_tau_equal_beta(self, balanced_six):
+        beta = pf_star(balanced_six)
+        assert not mbc_star(balanced_six, beta).is_empty
+        assert mbc_star(balanced_six, beta + 1).is_empty
+
+    @given(signed_graphs(max_vertices=8))
+    @settings(max_examples=40, deadline=None)
+    def test_beta_is_the_exact_boundary(self, graph):
+        beta = pf_star(graph)
+        assert not mbc_star(graph, beta).is_empty or \
+            graph.num_vertices == 0
+        assert mbc_star(graph, beta + 1).is_empty
+
+
+class TestReductionEdgeCases:
+    def test_vertex_reduction_on_empty(self):
+        assert vertex_reduction(SignedGraph(0), 3) == set()
+
+    def test_edge_reduction_on_empty(self):
+        reduced = edge_reduction(SignedGraph(0), 3)
+        assert reduced.num_vertices == 0
+
+    def test_edge_reduction_huge_tau_clears_graph(self, balanced_six):
+        reduced = edge_reduction(balanced_six, 50)
+        assert reduced.num_edges == 0
+
+    def test_vertex_reduction_huge_tau(self, balanced_six):
+        assert vertex_reduction(balanced_six, 50) == set()
+
+
+class TestHeuristicEdgeCases:
+    def test_tries_parameter(self, balanced_six):
+        single = mbc_heuristic(balanced_six, 0, tries=1)
+        many = mbc_heuristic(balanced_six, 0, tries=8)
+        assert many.size >= single.size
+
+    def test_zero_tries_clamped(self, balanced_six):
+        clique = mbc_heuristic(balanced_six, 0, tries=0)
+        assert clique.size >= 1
+
+
+class TestEnumerationEdgeCases:
+    def test_empty_graph(self):
+        assert enumerate_maximal_balanced_cliques(SignedGraph(0)) == []
+
+    def test_edgeless_graph_singletons(self):
+        cliques = enumerate_maximal_balanced_cliques(SignedGraph(3))
+        assert {c.vertices for c in cliques} == {
+            frozenset({0}), frozenset({1}), frozenset({2})}
+
+    def test_large_planted_clique_is_fast(self):
+        """The pivoting regression test: a 24-vertex balanced clique
+        must enumerate as ONE maximal clique without an exponential
+        subset sweep."""
+        graph = SignedGraph(24)
+        for u in range(24):
+            for v in range(u + 1, 24):
+                same = (u < 12) == (v < 12)
+                graph.add_edge(u, v, POSITIVE if same else NEGATIVE)
+        cliques = enumerate_maximal_balanced_cliques(graph)
+        assert len(cliques) == 1
+        assert cliques[0].size == 24
+
+
+class TestCrossSolverStress:
+    @given(signed_graphs(max_vertices=11, min_vertices=5))
+    @settings(max_examples=60, deadline=None)
+    def test_five_solvers_agree(self, graph):
+        for tau in (0, 2):
+            expected = brute_force_maximum_balanced_clique(
+                graph, tau).size
+            assert mbc_star(graph, tau).size == expected
+            assert mbc_baseline(graph, tau).size == expected
+            assert mbc_adv(graph, tau).size == expected
+        assert pf_star(graph) == pf_binary_search(graph)
+
+    @given(signed_graphs(max_vertices=8))
+    @settings(max_examples=30, deadline=None)
+    def test_gmbc_variants_and_pf_consistent(self, graph):
+        star = gmbc_star(graph)
+        naive = gmbc_naive(graph)
+        assert [c.size for c in star] == [c.size for c in naive]
+        if graph.num_vertices:
+            assert len(star) == pf_star(graph) + 1

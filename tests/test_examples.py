@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs and produces its headline
+output (examples are part of the public deliverable)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600, check=True)
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "maximum balanced clique (tau=2): |C|=6" in out
+    assert "beta(G) = 2" in out
+
+def test_conflict_discovery():
+    out = run_example("conflict_discovery.py")
+    assert "subredditdrama" in out
+    assert "polarity" in out
+
+
+def test_synonym_antonym():
+    out = run_example("synonym_antonym.py")
+    assert "synonym group A" in out
+    assert "good" in out and "bad" in out
+
+
+def test_protein_complexes():
+    out = run_example("protein_complexes.py")
+    assert "antagonistic complex pair" in out
+    assert "found 3 antagonistic complex pairs" in out
+
+
+def test_polarization_explorer_small_dataset():
+    out = run_example("polarization_explorer.py", "bitcoin")
+    assert "polarization factor beta(G)" in out
+    assert "tau=" in out

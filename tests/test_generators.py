@@ -1,0 +1,134 @@
+"""Tests for the synthetic signed-graph generators."""
+
+import pytest
+
+from repro.core.balance import is_balanced_clique
+from repro.signed.generators import chung_lu_signed_graph, \
+    plant_balanced_clique, power_law_weights, random_signed_graph, \
+    srn_community_graph
+from repro.signed.graph import SignedGraph
+
+
+class TestRandomSignedGraph:
+    def test_exact_edge_count(self):
+        graph = random_signed_graph(30, 100, seed=1)
+        assert graph.num_edges == 100
+
+    def test_deterministic(self):
+        a = random_signed_graph(25, 60, seed=42)
+        b = random_signed_graph(25, 60, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_seeds_differ(self):
+        a = random_signed_graph(25, 60, seed=1)
+        b = random_signed_graph(25, 60, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_neg_ratio_respected(self):
+        graph = random_signed_graph(60, 800, neg_ratio=0.3, seed=3)
+        assert graph.negative_ratio == pytest.approx(0.3, abs=0.07)
+
+    def test_all_negative(self):
+        graph = random_signed_graph(20, 50, neg_ratio=1.0, seed=4)
+        assert graph.num_positive_edges == 0
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            random_signed_graph(10, 5, neg_ratio=1.5)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_signed_graph(4, 10)
+
+    def test_validates(self):
+        random_signed_graph(40, 150, seed=5).validate()
+
+
+class TestChungLu:
+    def test_power_law_weights_decrease(self):
+        weights = power_law_weights(10)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_power_law_bad_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_weights(5, exponent=1.0)
+
+    def test_edge_count_close(self):
+        graph = chung_lu_signed_graph(200, 600, seed=6)
+        assert graph.num_edges >= 540  # collisions may shave a few
+
+    def test_heavy_tail(self):
+        graph = chung_lu_signed_graph(300, 1500, exponent=2.1, seed=7)
+        degrees = sorted(
+            (graph.degree(v) for v in graph.vertices()), reverse=True)
+        # The top vertex should dominate the median by a wide margin.
+        assert degrees[0] >= 4 * max(degrees[len(degrees) // 2], 1)
+
+    def test_deterministic(self):
+        a = chung_lu_signed_graph(100, 300, seed=8)
+        b = chung_lu_signed_graph(100, 300, seed=8)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_validates(self):
+        chung_lu_signed_graph(100, 400, seed=9).validate()
+
+
+class TestSRN:
+    def test_community_signs(self):
+        graph = srn_community_graph(
+            60, 3, p_in=0.5, p_out=0.1, noise=0.0, seed=10)
+        for u, v, sign in graph.edges():
+            same = (u % 3) == (v % 3)
+            assert sign == (1 if same else -1)
+
+    def test_noise_flips_some_signs(self):
+        clean = srn_community_graph(
+            60, 3, p_in=0.5, p_out=0.1, noise=0.0, seed=11)
+        noisy = srn_community_graph(
+            60, 3, p_in=0.5, p_out=0.1, noise=0.5, seed=11)
+        flips = sum(
+            1 for u, v, s in noisy.edges() if clean.sign(u, v) == -s)
+        assert flips > 0
+
+    def test_requires_community(self):
+        with pytest.raises(ValueError):
+            srn_community_graph(10, 0)
+
+    def test_validates(self):
+        srn_community_graph(80, 4, seed=12).validate()
+
+
+class TestPlanting:
+    def test_plants_balanced_clique(self):
+        graph = random_signed_graph(40, 100, seed=13)
+        plant_balanced_clique(graph, [0, 1, 2], [3, 4, 5])
+        assert is_balanced_clique(graph, range(6), tau=3)
+        graph.validate()
+
+    def test_overwrites_conflicting_edges(self):
+        graph = SignedGraph(4)
+        graph.add_edge(0, 1, -1)   # conflicts with the plant
+        graph.add_edge(0, 2, 1)    # conflicts with the plant
+        plant_balanced_clique(graph, [0, 1], [2, 3])
+        assert graph.sign(0, 1) == 1
+        assert graph.sign(0, 2) == -1
+
+    def test_one_sided_plant(self):
+        graph = SignedGraph(5)
+        plant_balanced_clique(graph, [0, 1, 2, 3], [])
+        assert graph.num_positive_edges == 6
+        assert graph.num_negative_edges == 0
+
+    def test_overlapping_sides_rejected(self):
+        graph = SignedGraph(5)
+        with pytest.raises(ValueError):
+            plant_balanced_clique(graph, [0, 1], [1, 2])
+
+    def test_out_of_range_rejected(self):
+        graph = SignedGraph(3)
+        with pytest.raises(ValueError):
+            plant_balanced_clique(graph, [0], [5])
+
+    def test_returns_graph_for_chaining(self):
+        graph = SignedGraph(4)
+        assert plant_balanced_clique(graph, [0], [1]) is graph

@@ -1,0 +1,136 @@
+"""Tests for global structural balance (Harary) and frustration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.signed.balance import connected_components, \
+    frustration_count, frustration_partition_local_search, \
+    harary_partition, is_structurally_balanced
+from repro.signed.generators import plant_balanced_clique
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        assert connected_components(SignedGraph(0)) == []
+
+    def test_isolated_vertices(self):
+        components = connected_components(SignedGraph(3))
+        assert sorted(map(sorted, components)) == [[0], [1], [2]]
+
+    def test_mixed_signs_connect(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1)], negative_edges=[(1, 2)])
+        components = connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0, 1, 2], [3]]
+
+
+class TestHarary:
+    def test_balanced_clique_is_balanced(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        partition = harary_partition(sub)
+        assert partition is not None
+        left, right = partition
+        assert {frozenset(left), frozenset(right)} == {
+            frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+
+    def test_negative_triangle_unbalanced(self):
+        graph = SignedGraph.from_edges(
+            3, negative_edges=[(0, 1), (1, 2), (0, 2)])
+        assert harary_partition(graph) is None
+        assert not is_structurally_balanced(graph)
+
+    def test_one_flipped_edge_breaks_balance(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        sub.remove_edge(0, 1)
+        sub.add_edge(0, 1, NEGATIVE)
+        assert not is_structurally_balanced(sub)
+
+    def test_all_positive_is_balanced(self, all_positive_clique):
+        assert is_structurally_balanced(all_positive_clique)
+
+    def test_empty_graph_balanced(self):
+        assert is_structurally_balanced(SignedGraph(0))
+
+    def test_even_negative_cycle_balanced(self):
+        graph = SignedGraph.from_edges(
+            4, negative_edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert is_structurally_balanced(graph)
+
+    def test_odd_negative_cycle_unbalanced(self):
+        graph = SignedGraph.from_edges(
+            5, negative_edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert not is_structurally_balanced(graph)
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_witness_has_zero_frustration(self, graph):
+        partition = harary_partition(graph)
+        if partition is None:
+            return
+        left, right = partition
+        assert frustration_count(graph, left, right) == 0
+
+    @given(signed_graphs(max_vertices=8))
+    @settings(max_examples=40, deadline=None)
+    def test_unbalanced_graphs_have_no_zero_partition(self, graph):
+        """If Harary says unbalanced, no camp assignment achieves zero
+        frustration (checked exhaustively)."""
+        import itertools
+
+        if harary_partition(graph) is not None:
+            return
+        n = graph.num_vertices
+        for bits in itertools.product((0, 1), repeat=n):
+            left = {v for v in range(n) if bits[v] == 0}
+            if frustration_count(graph, left) == 0:
+                pytest.fail(f"zero-frustration split {left} exists")
+
+
+class TestFrustration:
+    def test_count_on_perfect_split(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        assert frustration_count(sub, {0, 1, 2}, {3, 4, 5}) == 0
+
+    def test_count_on_bad_split(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        # Splitting across the camps frustrates everything positive
+        # between the separated halves and the negatives kept inside.
+        bad = frustration_count(sub, {0, 3}, {1, 2, 4, 5})
+        assert bad > 0
+
+    def test_right_defaults_to_complement(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        assert frustration_count(sub, {0, 1, 2}) == 0
+
+    def test_overlap_rejected(self, balanced_six):
+        with pytest.raises(ValueError):
+            frustration_count(balanced_six, {0, 1}, {1, 2})
+
+    def test_local_search_exact_on_balanced(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        _left, _right, frustration = \
+            frustration_partition_local_search(sub)
+        assert frustration == 0
+
+    def test_local_search_improves_noisy_graph(self):
+        graph = SignedGraph(12)
+        plant_balanced_clique(graph, list(range(6)), list(range(6, 12)))
+        # Flip two signs: optimal frustration is at most 2.
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 1, NEGATIVE)
+        graph.remove_edge(0, 6)
+        graph.add_edge(0, 6, POSITIVE)
+        _l, _r, frustration = frustration_partition_local_search(graph)
+        assert frustration <= 2
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=40, deadline=None)
+    def test_local_search_returns_partition(self, graph):
+        left, right, frustration = \
+            frustration_partition_local_search(graph)
+        assert left | right == set(graph.vertices())
+        assert not (left & right)
+        assert frustration == frustration_count(graph, left, right)

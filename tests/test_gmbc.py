@@ -1,0 +1,100 @@
+"""Tests for the generalized maximum balanced clique algorithms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.balance import is_balanced_clique
+from repro.core.bruteforce import brute_force_maximum_balanced_clique, \
+    brute_force_polarization_factor
+from repro.core.gmbc import distinct_cliques_profile, gmbc_naive, gmbc_star
+from repro.signed.graph import SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestGMBCNaive:
+    def test_figure2(self, toy_figure2):
+        results = gmbc_naive(toy_figure2)
+        assert len(results) == 3  # tau = 0, 1, 2
+        assert results[2].size == 6
+
+    def test_empty_graph(self):
+        assert gmbc_naive(SignedGraph(0)) == []
+
+    def test_sizes_non_increasing(self, toy_figure2):
+        results = gmbc_naive(toy_figure2)
+        sizes = [c.size for c in results]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestGMBCStar:
+    def test_figure2(self, toy_figure2):
+        results = gmbc_star(toy_figure2)
+        assert len(results) == 3
+        assert results[2].size == 6
+
+    def test_empty_graph(self):
+        assert gmbc_star(SignedGraph(0)) == []
+
+    def test_each_result_satisfies_its_tau(self, balanced_six):
+        results = gmbc_star(balanced_six)
+        for tau, clique in enumerate(results):
+            assert clique.satisfies(tau)
+            assert is_balanced_clique(
+                balanced_six, clique.vertices, tau=tau)
+
+    def test_length_is_beta_plus_one(self, balanced_six):
+        results = gmbc_star(balanced_six)
+        assert len(results) == \
+            brute_force_polarization_factor(balanced_six) + 1
+
+
+class TestAgreement:
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=60, deadline=None)
+    def test_gmbc_star_matches_brute_force(self, graph):
+        results = gmbc_star(graph)
+        beta = brute_force_polarization_factor(graph)
+        if graph.num_vertices == 0:
+            assert results == []
+            return
+        assert len(results) == beta + 1
+        for tau, clique in enumerate(results):
+            expected = brute_force_maximum_balanced_clique(graph, tau)
+            assert clique.size == expected.size
+            assert is_balanced_clique(graph, clique.vertices, tau=tau)
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_naive_and_star_agree(self, graph):
+        naive = gmbc_naive(graph)
+        star = gmbc_star(graph)
+        assert [c.size for c in naive] == [c.size for c in star]
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma6_monotonicity(self, graph):
+        sizes = [c.size for c in gmbc_star(graph)]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestProfile:
+    def test_empty(self):
+        profile = distinct_cliques_profile([])
+        assert profile["distinct"] == 0
+        assert profile["beta"] == -1
+
+    def test_figure2_profile(self, toy_figure2):
+        results = gmbc_star(toy_figure2)
+        profile = distinct_cliques_profile(results)
+        assert profile["beta"] == 2
+        assert 1 <= profile["distinct"] <= 3
+        size, small, large = profile["most_polarized"]
+        assert size == 6
+        assert small <= large
+
+    def test_distinct_counts_unique_cliques(self, balanced_six):
+        results = gmbc_star(balanced_six)
+        profile = distinct_cliques_profile(results)
+        keys = {(c.left, c.right) for c in results}
+        assert profile["distinct"] == len(keys)

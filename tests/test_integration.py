@@ -1,0 +1,108 @@
+"""Integration tests: whole pipelines across modules, on realistic
+(stand-in) data rather than toy fixtures."""
+
+import pytest
+
+from repro.baselines.polarseeds import good_seed_pairs, polar_seeds
+from repro.core.balance import is_balanced_clique
+from repro.core.gmbc import distinct_cliques_profile, gmbc_star
+from repro.core.mbc_baseline import mbc_baseline
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_binary_search, pf_star
+from repro.core.stats import SearchStats
+from repro.datasets.registry import dataset_names, load
+from repro.metrics.polarity import harmonic_polarization, polarity
+from repro.signed.io import load_signed_graph, save_signed_graph
+from repro.signed.ratings import random_rating_table, \
+    ratings_to_signed_graph
+
+SMALL = ["bitcoin", "reddit", "referendum"]
+
+
+class TestSolverAgreementOnDatasets:
+    @pytest.mark.parametrize("name", SMALL)
+    def test_mbc_star_vs_baseline(self, name):
+        graph = load(name, scale=0.5)
+        a = mbc_star(graph, 3)
+        b = mbc_baseline(graph, 3)
+        assert a.size == b.size
+        if not a.is_empty:
+            assert is_balanced_clique(graph, a.vertices, tau=3)
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_pf_star_vs_binary_search(self, name):
+        graph = load(name, scale=0.5)
+        assert pf_star(graph) == pf_binary_search(graph)
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_mbc_star_result_valid_everywhere(self, name):
+        graph = load(name, scale=0.4)
+        clique = mbc_star(graph, 3)
+        if clique.is_empty:
+            return
+        assert is_balanced_clique(graph, clique.vertices, tau=3)
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_gmbc_consistent_with_pf(self, name):
+        graph = load(name, scale=0.5)
+        results = gmbc_star(graph)
+        beta = pf_star(graph)
+        assert len(results) == beta + 1
+        tau = min(3, beta)
+        assert results[tau].size == mbc_star(graph, tau).size
+
+
+class TestRatingsPipeline:
+    def test_ratings_to_clique(self):
+        """Rating table -> signed graph -> maximum balanced clique:
+        taste groups become the two sides."""
+        table = random_rating_table(
+            16, 40, ratings_per_user=25, taste_groups=2, noise=0.05,
+            seed=11)
+        graph = ratings_to_signed_graph(table)
+        clique = mbc_star(graph, 3)
+        assert not clique.is_empty
+        # Sides should align with the parity taste groups.
+        for side in (clique.left, clique.right):
+            parities = {v % 2 for v in side}
+            assert len(parities) == 1
+
+
+class TestRoundTripPersistence:
+    def test_dataset_survives_disk_round_trip(self, tmp_path):
+        graph = load("bitcoin", scale=0.5)
+        path = tmp_path / "bitcoin.txt"
+        save_signed_graph(graph, path)
+        loaded = load_signed_graph(path)
+        assert mbc_star(loaded, 3).size == mbc_star(graph, 3).size
+
+
+class TestQualityComparison:
+    def test_clique_ham_is_one_everywhere(self):
+        for name in SMALL:
+            graph = load(name, scale=0.5)
+            clique = mbc_star(graph, 2)
+            if clique.is_empty:
+                continue
+            assert harmonic_polarization(
+                graph, clique.left, clique.right) == pytest.approx(1.0)
+
+    def test_polarity_comparison_runs(self):
+        graph = load("bitcoin", scale=0.5)
+        pairs = good_seed_pairs(graph, t=2, count=3, seed=0)
+        clique = mbc_star(graph, 2)
+        clique_polarity = polarity(graph, clique.left, clique.right)
+        for u, v in pairs:
+            community = polar_seeds(graph, u, v)
+            assert community.score >= 0.0
+        assert clique_polarity > 0.0
+
+
+class TestInstrumentation:
+    def test_stats_across_pipeline(self):
+        graph = load("reddit", scale=0.5)
+        stats = SearchStats()
+        mbc_star(graph, 3, stats=stats)
+        assert stats.vertices_examined >= stats.instances
+        if stats.sr2 is not None and stats.sr1 is not None:
+            assert stats.sr2 >= stats.sr1 - 1e-9

@@ -1,0 +1,169 @@
+"""Deep cross-module invariants (hypothesis).
+
+These tie together components that the per-module suites test in
+isolation: the optimum returned by any solver must be consistent with
+the reductions, the transformation, the metrics and the global balance
+theory simultaneously.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance import split_sides
+from repro.core.bruteforce import brute_force_maximum_balanced_clique, \
+    enumerate_balanced_cliques
+from repro.core.heuristic import mbc_heuristic
+from repro.core.mbc_baseline import enumerate_maximal_balanced_cliques
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_star
+from repro.core.reductions import polar_core_numbers, vertex_reduction
+from repro.metrics.polarity import harmonic_polarization, polarity
+from repro.signed.balance import harary_partition, \
+    is_structurally_balanced
+from repro.signed.graph import SignedGraph
+from repro.signed.triangles import triangle_census
+from repro.unsigned.cores import core_numbers
+from repro.unsigned.graph import UnsignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestOptimumConsistency:
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=60, deadline=None)
+    def test_optimum_induces_balanced_subgraph(self, graph, tau):
+        """The returned clique's induced subgraph is structurally
+        balanced as a whole graph (clique-balance implies
+        graph-balance on the induced subgraph)."""
+        clique = mbc_star(graph, tau)
+        if clique.is_empty:
+            return
+        sub, _ = graph.subgraph(clique.vertices)
+        assert is_structurally_balanced(sub)
+        # ...and triangle-perfect: every triangle balanced.
+        assert triangle_census(sub).balance_degree == 1.0
+
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=60, deadline=None)
+    def test_optimum_sides_match_harary_witness(self, graph, tau):
+        """split_sides and the Harary partition of the induced
+        subgraph agree (up to swap) when the clique spans one
+        component."""
+        clique = mbc_star(graph, tau)
+        if clique.size < 2:
+            return
+        sub, mapping = graph.subgraph(clique.vertices)
+        witness = harary_partition(sub)
+        assert witness is not None
+        left = {mapping[v] for v in witness[0]}
+        right = {mapping[v] for v in witness[1]}
+        assert {frozenset(left), frozenset(right)} == {
+            frozenset(clique.left), frozenset(clique.right)}
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_optimum_survives_every_safe_reduction(self, graph):
+        """For tau = beta(G), the witness lies inside the vertex
+        reduction, the polar core at level beta, and the
+        (size-1)-core of the unsigned view."""
+        beta, witness = pf_star(graph, return_witness=True)
+        if beta == 0:
+            return
+        survivors = vertex_reduction(graph, beta)
+        assert set(witness.vertices) <= survivors
+        _order, pn = polar_core_numbers(graph)
+        for v in witness.vertices:
+            assert pn[v] >= beta
+        unsigned = UnsignedGraph.from_signed(graph)
+        cores = core_numbers(unsigned)
+        for v in witness.vertices:
+            assert cores[v] >= witness.size - 1
+
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_dominates_heuristic_and_maximals(self, graph, tau):
+        optimum = mbc_star(graph, tau)
+        heuristic = mbc_heuristic(graph, tau)
+        assert optimum.size >= heuristic.size
+        for maximal in enumerate_maximal_balanced_cliques(graph, tau):
+            assert optimum.size >= maximal.size
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_is_some_maximal_clique(self, graph):
+        """Every maximum balanced clique is maximal, hence appears in
+        the MBCEnum output."""
+        optimum = mbc_star(graph, 0)
+        if optimum.is_empty:
+            return
+        reported = {
+            c.vertices
+            for c in enumerate_maximal_balanced_cliques(graph, 0)}
+        assert optimum.vertices in reported
+
+
+class TestMetricConsistency:
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=1, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_maximizes_polarity_among_cliques(self, graph, tau):
+        """Among balanced cliques satisfying tau, the maximum one has
+        the highest polarity achievable *by a maximum-size clique*
+        (polarity grows along superset chains, so a maximum clique is
+        never polarity-dominated by one of its sub-cliques)."""
+        optimum = mbc_star(graph, tau)
+        if optimum.is_empty:
+            return
+        best_score = polarity(graph, optimum.left, optimum.right)
+        for clique in enumerate_balanced_cliques(graph, tau):
+            if clique.vertices < optimum.vertices:
+                assert polarity(graph, clique.left, clique.right) <= \
+                    best_score + 1e-9
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_ham_one_iff_balanced_complete_pair(self, graph):
+        """HAM = 1 for the solver's output, always."""
+        clique = mbc_star(graph, 1)
+        if clique.is_empty:
+            return
+        assert harmonic_polarization(
+            graph, clique.left, clique.right) == pytest.approx(1.0)
+
+
+class TestSplitUniqueness:
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=60, deadline=None)
+    def test_split_is_unique_up_to_swap(self, graph):
+        """The paper: the side split of a balanced clique is unique
+        (roles swappable).  Verify against all 2^(k-1) candidate
+        splits."""
+        import itertools
+
+        for clique in enumerate_balanced_cliques(graph):
+            members = sorted(clique.vertices)
+            if not 2 <= len(members) <= 6:
+                continue
+            valid = []
+            anchor = members[0]
+            rest = members[1:]
+            for bits in itertools.product((0, 1), repeat=len(rest)):
+                left = {anchor} | {
+                    v for v, bit in zip(rest, bits) if bit == 0}
+                right = set(members) - left
+                ok = True
+                for u, v in itertools.combinations(members, 2):
+                    same = (u in left) == (v in left)
+                    sign = graph.sign(u, v)
+                    if same and sign != 1 or not same and sign != -1:
+                        ok = False
+                        break
+                if ok:
+                    valid.append((frozenset(left), frozenset(right)))
+            assert len(valid) == 1
+            assert valid[0] == (clique.left, clique.right) or \
+                valid[0] == (clique.right, clique.left)

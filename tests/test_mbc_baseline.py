@@ -1,0 +1,152 @@
+"""Tests for the MBC enumeration baseline and MBCEnum."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance import is_balanced_clique, split_sides
+from repro.core.bruteforce import brute_force_maximum_balanced_clique, \
+    enumerate_balanced_cliques
+from repro.core.mbc_baseline import enumerate_maximal_balanced_cliques, \
+    mbc_baseline
+from repro.core.stats import SearchStats
+from repro.signed.graph import SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestMBCBaseline:
+    def test_figure2_tau2(self, toy_figure2):
+        clique = mbc_baseline(toy_figure2, 2)
+        assert clique.size == 6
+        assert clique.vertices == {2, 3, 4, 5, 6, 7}
+
+    def test_figure2_tau3_empty(self, toy_figure2):
+        assert mbc_baseline(toy_figure2, 3).is_empty
+
+    def test_planted(self, balanced_six):
+        assert mbc_baseline(balanced_six, 3).size == 6
+
+    def test_tau_zero_positive_clique(self, all_positive_clique):
+        clique = mbc_baseline(all_positive_clique, 0)
+        assert clique.size == 5
+        assert clique.polarization == 0
+
+    def test_no_edge_reduction_variant(self, toy_figure2):
+        a = mbc_baseline(toy_figure2, 2, use_edge_reduction=True)
+        b = mbc_baseline(toy_figure2, 2, use_edge_reduction=False)
+        assert a.size == b.size
+
+    def test_empty_graph(self):
+        assert mbc_baseline(SignedGraph(0), 0).is_empty
+
+    def test_node_limit_enforced(self):
+        from .conftest import make_random_signed_graph
+
+        graph = make_random_signed_graph(20, 0.4, 0.3, seed=2)
+        with pytest.raises(RuntimeError):
+            mbc_baseline(graph, 0, node_limit=3)
+
+    def test_stats_recorded(self, toy_figure2):
+        stats = SearchStats()
+        mbc_baseline(toy_figure2, 2, stats=stats)
+        assert stats.nodes > 0
+
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, graph, tau):
+        expected = brute_force_maximum_balanced_clique(graph, tau)
+        found = mbc_baseline(graph, tau)
+        assert found.size == expected.size
+        if not found.is_empty:
+            assert is_balanced_clique(graph, found.vertices, tau=tau)
+
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_variants_agree(self, graph, tau):
+        a = mbc_baseline(graph, tau, use_edge_reduction=True)
+        b = mbc_baseline(graph, tau, use_edge_reduction=False)
+        assert a.size == b.size
+
+
+class TestMBCEnum:
+    def test_simple_two_maximal(self):
+        # +(0,1), -(0,2): maximal balanced cliques {0,1} and {0,2}.
+        graph = SignedGraph.from_edges(
+            3, positive_edges=[(0, 1)], negative_edges=[(0, 2)])
+        cliques = enumerate_maximal_balanced_cliques(graph)
+        found = {clique.vertices for clique in cliques}
+        assert found == {frozenset({0, 1}), frozenset({0, 2})}
+
+    def test_results_are_balanced_cliques(self, toy_figure2):
+        for clique in enumerate_maximal_balanced_cliques(toy_figure2):
+            assert is_balanced_clique(toy_figure2, clique.vertices)
+
+    def test_results_are_maximal(self, toy_figure2):
+        cliques = enumerate_maximal_balanced_cliques(toy_figure2)
+        for clique in cliques:
+            for v in toy_figure2.vertices():
+                if v in clique.vertices:
+                    continue
+                extended = set(clique.vertices) | {v}
+                assert split_sides(toy_figure2, extended) is None, (
+                    f"{sorted(clique.vertices)} extendable by {v}")
+
+    def test_tau_filter(self, toy_figure2):
+        all_cliques = enumerate_maximal_balanced_cliques(toy_figure2, 0)
+        polarized = enumerate_maximal_balanced_cliques(toy_figure2, 2)
+        assert len(polarized) <= len(all_cliques)
+        assert all(c.polarization >= 2 for c in polarized)
+
+    def test_limit_stops_early(self, toy_figure2):
+        cliques = enumerate_maximal_balanced_cliques(
+            toy_figure2, limit=2)
+        assert len(cliques) == 2
+
+    def test_callback_invoked(self, balanced_six):
+        seen = []
+        enumerate_maximal_balanced_cliques(
+            balanced_six, on_clique=seen.append)
+        assert seen
+        assert any(c.size == 6 for c in seen)
+
+    def test_no_duplicates(self, toy_figure2):
+        cliques = enumerate_maximal_balanced_cliques(toy_figure2)
+        keys = [(c.left, c.right) for c in cliques]
+        assert len(keys) == len(set(keys))
+
+    @given(signed_graphs(max_vertices=8))
+    @settings(max_examples=60, deadline=None)
+    def test_complete_against_oracle(self, graph):
+        """Every maximal balanced clique (derived from the oracle's
+        full enumeration) is reported, and nothing non-maximal is."""
+        every = {c.vertices for c in enumerate_balanced_cliques(graph)}
+        maximal = {
+            c for c in every
+            if not any(c < other for other in every)
+        }
+        # A maximal clique must also not be extendable by any vertex
+        # (covers extensions the oracle saw as other cliques).
+        reported = {
+            c.vertices
+            for c in enumerate_maximal_balanced_cliques(graph)
+        }
+        if graph.num_vertices == 0:
+            return
+        assert reported == maximal
+
+    @given(signed_graphs(max_vertices=8),
+           st.integers(min_value=1, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_tau_variant_subset(self, graph, tau):
+        unfiltered = {
+            c.vertices
+            for c in enumerate_maximal_balanced_cliques(graph, 0)}
+        filtered = enumerate_maximal_balanced_cliques(graph, tau)
+        for clique in filtered:
+            assert clique.polarization >= tau
+            assert clique.vertices in unfiltered

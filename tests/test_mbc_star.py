@@ -1,0 +1,145 @@
+"""Tests for MBC* (Algorithm 2) and MBC-Adv."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance import is_balanced_clique
+from repro.core.bruteforce import brute_force_maximum_balanced_clique
+from repro.core.mbc_adv import mbc_adv
+from repro.core.mbc_star import mbc_star
+from repro.core.result import BalancedClique
+from repro.core.stats import SearchStats
+from repro.signed.graph import SignedGraph
+
+from .conftest import make_random_signed_graph, signed_graphs
+
+
+class TestMBCStar:
+    def test_figure2_tau2(self, toy_figure2):
+        clique = mbc_star(toy_figure2, 2)
+        assert clique.size == 6
+        assert clique.vertices == {2, 3, 4, 5, 6, 7}
+
+    def test_figure2_tau3_empty(self, toy_figure2):
+        assert mbc_star(toy_figure2, 3).is_empty
+
+    def test_planted(self, balanced_six):
+        clique = mbc_star(balanced_six, 3)
+        assert clique.size == 6
+        assert clique.polarization == 3
+
+    def test_tau_zero(self, all_positive_clique):
+        assert mbc_star(all_positive_clique, 0).size == 5
+
+    def test_empty_graph(self):
+        assert mbc_star(SignedGraph(0), 0).is_empty
+
+    def test_negative_tau_rejected(self, toy_figure2):
+        with pytest.raises(ValueError):
+            mbc_star(toy_figure2, -1)
+
+    def test_with_edge_reduction_variant(self, toy_figure2):
+        a = mbc_star(toy_figure2, 2, use_edge_reduction=True)
+        b = mbc_star(toy_figure2, 2)
+        assert a.size == b.size
+
+    def test_initial_solution_returned_when_optimal(self, balanced_six):
+        optimum = mbc_star(balanced_six, 3)
+        again = mbc_star(balanced_six, 3, initial=optimum)
+        assert again.size == optimum.size
+
+    def test_initial_solution_improved(self, balanced_six):
+        small = BalancedClique.from_sides({0, 1, 2}, {3, 4})
+        clique = mbc_star(balanced_six, 2, initial=small)
+        assert clique.size == 6
+
+    def test_invalid_initial_rejected(self, toy_figure2):
+        bad = BalancedClique.from_sides({0, 1}, set())
+        with pytest.raises(ValueError):
+            mbc_star(toy_figure2, 2, initial=bad)
+
+    def test_check_only_returns_feasible(self, toy_figure2):
+        witness = mbc_star(toy_figure2, 2, check_only=True)
+        assert not witness.is_empty
+        assert witness.satisfies(2)
+        assert is_balanced_clique(toy_figure2, witness.vertices, tau=2)
+
+    def test_check_only_empty_when_infeasible(self, toy_figure2):
+        assert mbc_star(toy_figure2, 4, check_only=True).is_empty
+
+    def test_stats_recorded(self, toy_figure2):
+        stats = SearchStats()
+        mbc_star(toy_figure2, 2, stats=stats)
+        assert stats.heuristic_size >= 0
+        assert stats.vertices_examined >= 0
+
+    def test_sr_ratios_in_range(self):
+        graph = make_random_signed_graph(40, 0.25, 0.2, seed=9)
+        stats = SearchStats()
+        mbc_star(graph, 1, stats=stats)
+        if stats.sr1 is not None:
+            assert 0.0 <= stats.sr1 <= 1.0
+            assert stats.sr2 is not None
+            assert stats.sr2 >= stats.sr1 - 1e-9
+
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, graph, tau):
+        expected = brute_force_maximum_balanced_clique(graph, tau)
+        found = mbc_star(graph, tau)
+        assert found.size == expected.size
+        if not found.is_empty:
+            assert is_balanced_clique(graph, found.vertices, tau=tau)
+            assert found.satisfies(tau)
+
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_check_only_agrees_on_feasibility(self, graph, tau):
+        expected = brute_force_maximum_balanced_clique(graph, tau)
+        witness = mbc_star(graph, tau, check_only=True)
+        assert witness.is_empty == expected.is_empty
+        if not witness.is_empty:
+            assert is_balanced_clique(graph, witness.vertices, tau=tau)
+
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_initial_never_hurts(self, graph, tau):
+        plain = mbc_star(graph, tau)
+        if plain.is_empty:
+            return
+        seeded = mbc_star(graph, tau, initial=plain)
+        assert seeded.size == plain.size
+
+
+class TestMBCAdv:
+    def test_figure2(self, toy_figure2):
+        assert mbc_adv(toy_figure2, 2).size == 6
+
+    def test_planted(self, balanced_six):
+        assert mbc_adv(balanced_six, 3).size == 6
+
+    def test_empty_graph(self):
+        assert mbc_adv(SignedGraph(0), 0).is_empty
+
+    def test_negative_tau_rejected(self, toy_figure2):
+        with pytest.raises(ValueError):
+            mbc_adv(toy_figure2, -2)
+
+    def test_node_limit(self):
+        graph = make_random_signed_graph(20, 0.4, 0.3, seed=3)
+        with pytest.raises(RuntimeError):
+            mbc_adv(graph, 0, node_limit=2)
+
+    @given(signed_graphs(max_vertices=10),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, graph, tau):
+        expected = brute_force_maximum_balanced_clique(graph, tau)
+        found = mbc_adv(graph, tau)
+        assert found.size == expected.size
+        if not found.is_empty:
+            assert is_balanced_clique(graph, found.vertices, tau=tau)

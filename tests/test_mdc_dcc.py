@@ -1,0 +1,196 @@
+"""Tests for the MDC and DCC branch-and-bound engines.
+
+MDC is validated against an exhaustive dichromatic-clique oracle; DCC
+against MDC (feasibility must coincide) and the same oracle.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import SearchStats
+from repro.dichromatic.dcc import dichromatic_clique_check, \
+    dichromatic_clique_witness
+from repro.dichromatic.graph import DichromaticGraph
+from repro.dichromatic.mdc import solve_mdc
+
+
+@st.composite
+def dichromatic_graphs(draw, max_vertices: int = 10) -> DichromaticGraph:
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    labels = draw(st.lists(
+        st.booleans(), min_size=n, max_size=n))
+    p = draw(st.floats(min_value=0.0, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    graph = DichromaticGraph(labels)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def oracle_maximum(graph: DichromaticGraph, tau_l: int, tau_r: int) -> int:
+    """Exhaustive maximum dichromatic clique size (0 if none)."""
+    best = 0
+    vertices = list(graph.vertices())
+    if tau_l <= 0 and tau_r <= 0:
+        best = 0  # the empty clique qualifies
+    for size in range(1, len(vertices) + 1):
+        for combo in itertools.combinations(vertices, size):
+            if not graph.is_clique(combo):
+                continue
+            left, right = graph.side_counts(combo)
+            if left >= tau_l and right >= tau_r:
+                best = max(best, size)
+    return best
+
+
+def oracle_feasible(graph: DichromaticGraph, tau_l: int, tau_r: int) -> bool:
+    if tau_l == 0 and tau_r == 0:
+        return True
+    vertices = list(graph.vertices())
+    for size in range(1, len(vertices) + 1):
+        for combo in itertools.combinations(vertices, size):
+            if not graph.is_clique(combo):
+                continue
+            left, right = graph.side_counts(combo)
+            if left >= tau_l and right >= tau_r:
+                return True
+    return False
+
+
+def build(labels, edges) -> DichromaticGraph:
+    graph = DichromaticGraph(labels)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestMDC:
+    def test_simple_biclique(self):
+        graph = build([True, True, False, False],
+                      [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)])
+        found = solve_mdc(graph, 2, 2, must_exceed=0)
+        assert found == {0, 1, 2, 3}
+
+    def test_respects_thresholds(self):
+        graph = build([True, True, True], [(0, 1), (1, 2), (0, 2)])
+        assert solve_mdc(graph, 0, 1, must_exceed=0) is None
+
+    def test_must_exceed_filters(self):
+        graph = build([True, True], [(0, 1)])
+        assert solve_mdc(graph, 0, 0, must_exceed=2) is None
+        assert solve_mdc(graph, 0, 0, must_exceed=1) == {0, 1}
+
+    def test_empty_clique_qualifies_when_thresholds_zero(self):
+        graph = DichromaticGraph([True])
+        found = solve_mdc(graph, 0, 0, must_exceed=-1)
+        assert found is not None
+
+    def test_negative_thresholds_allowed(self):
+        graph = build([True, True], [(0, 1)])
+        found = solve_mdc(graph, -3, -1, must_exceed=0)
+        assert found == {0, 1}
+
+    def test_check_only_returns_any_feasible(self):
+        graph = build([True, True, False, False],
+                      [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)])
+        found = solve_mdc(graph, 1, 1, must_exceed=0, check_only=True)
+        assert found is not None
+        left, right = graph.side_counts(found)
+        assert left >= 1 and right >= 1
+
+    def test_active_restriction(self):
+        graph = build([True, True, False],
+                      [(0, 1), (0, 2), (1, 2)])
+        found = solve_mdc(graph, 0, 0, must_exceed=0, active={0, 1})
+        assert found == {0, 1}
+
+    def test_stats_counted(self):
+        graph = build([True, False], [(0, 1)])
+        stats = SearchStats()
+        solve_mdc(graph, 1, 1, must_exceed=0, stats=stats)
+        assert stats.nodes > 0
+
+    @given(dichromatic_graphs(),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_oracle(self, graph, tau_l, tau_r):
+        expected = oracle_maximum(graph, tau_l, tau_r)
+        found = solve_mdc(graph, tau_l, tau_r, must_exceed=0)
+        if found is None:
+            assert expected == 0
+        else:
+            assert len(found) == expected
+            assert graph.is_clique(found)
+            left, right = graph.side_counts(found)
+            assert left >= tau_l and right >= tau_r
+
+    @given(dichromatic_graphs(),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_must_exceed_is_strict(self, graph, bar):
+        expected = oracle_maximum(graph, 0, 0)
+        found = solve_mdc(graph, 0, 0, must_exceed=bar)
+        if expected > bar:
+            assert found is not None and len(found) == expected
+        else:
+            assert found is None
+
+
+class TestDCC:
+    def test_trivial_feasible(self):
+        graph = DichromaticGraph([True])
+        assert dichromatic_clique_check(graph, 0, 0)
+
+    def test_single_left_vertex(self):
+        graph = DichromaticGraph([True])
+        assert dichromatic_clique_check(graph, 1, 0)
+        assert not dichromatic_clique_check(graph, 0, 1)
+
+    def test_biclique(self):
+        graph = build([True, True, False, False],
+                      [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)])
+        assert dichromatic_clique_check(graph, 2, 2)
+        assert not dichromatic_clique_check(graph, 3, 2)
+
+    def test_witness_is_valid(self):
+        graph = build([True, True, False, False],
+                      [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)])
+        witness = dichromatic_clique_witness(graph, 2, 2)
+        assert witness is not None
+        assert graph.is_clique(witness)
+        left, right = graph.side_counts(witness)
+        assert left >= 2 and right >= 2
+
+    def test_witness_none_when_infeasible(self):
+        graph = build([True, False], [])
+        assert dichromatic_clique_witness(graph, 1, 1) is None
+
+    def test_active_restriction(self):
+        graph = build([True, False], [(0, 1)])
+        assert dichromatic_clique_check(graph, 1, 1)
+        assert not dichromatic_clique_check(graph, 1, 1, active={0})
+
+    @given(dichromatic_graphs(),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_oracle(self, graph, tau_l, tau_r):
+        assert dichromatic_clique_check(graph, tau_l, tau_r) == \
+            oracle_feasible(graph, tau_l, tau_r)
+
+    @given(dichromatic_graphs(),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_mdc(self, graph, tau_l, tau_r):
+        feasible = solve_mdc(
+            graph, tau_l, tau_r, must_exceed=-1) is not None
+        assert dichromatic_clique_check(graph, tau_l, tau_r) == feasible

@@ -1,0 +1,137 @@
+"""Tests for the Polarity / SBR / HAM quality metrics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bruteforce import enumerate_balanced_cliques
+from repro.metrics.polarity import count_group_edges, \
+    harmonic_polarization, polarity, signed_bipartiteness_ratio
+from repro.signed.graph import SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestCountGroupEdges:
+    def test_perfect_polarized_pair(self, balanced_six):
+        counts = count_group_edges(balanced_six, {0, 1, 2}, {3, 4, 5})
+        assert counts["pos_in"] == 6
+        assert counts["neg_cross"] == 9
+        assert counts["neg_in"] == 0
+        assert counts["pos_cross"] == 0
+        assert counts["boundary"] == 2  # edges to vertices 6 and 7
+
+    def test_overlap_rejected(self, balanced_six):
+        with pytest.raises(ValueError):
+            count_group_edges(balanced_six, {0, 1}, {1, 2})
+
+    def test_violations_counted(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 2)], negative_edges=[(0, 1)])
+        counts = count_group_edges(graph, {0, 1}, {2, 3})
+        assert counts["neg_in"] == 1
+        assert counts["pos_cross"] == 1
+
+
+class TestPolarity:
+    def test_balanced_clique_polarity(self, balanced_six):
+        value = polarity(balanced_six, {0, 1, 2}, {3, 4, 5})
+        # (6 + 2 * 9) / 6 = 4.0
+        assert value == pytest.approx(4.0)
+
+    def test_empty_groups(self, balanced_six):
+        assert polarity(balanced_six, set(), set()) == 0.0
+
+    def test_cross_negative_counts_double(self):
+        graph = SignedGraph.from_edges(2, negative_edges=[(0, 1)])
+        assert polarity(graph, {0}, {1}) == pytest.approx(1.0)
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_polarity_grows_along_superset_chains(self, graph):
+        """Extending a balanced clique strictly increases its polarity
+        (adding a vertex to side of size l against side r contributes
+        1/2 + r^2/(s(s+1)) > 0) — the effect behind Figure 5: the
+        *maximum* balanced clique dominates all its sub-cliques."""
+        cliques = list(enumerate_balanced_cliques(graph))
+        by_vertices = {c.vertices: c for c in cliques}
+        for clique in cliques:
+            score = polarity(graph, clique.left, clique.right)
+            for v in clique.vertices:
+                if clique.size == 1:
+                    continue
+                smaller = by_vertices.get(clique.vertices - {v})
+                if smaller is None:
+                    continue
+                sub_score = polarity(
+                    graph, smaller.left, smaller.right)
+                assert score >= sub_score - 1e-9
+
+
+class TestSBR:
+    def test_zero_for_isolated_perfect_pair(self, balanced_six):
+        # Remove the two pendant vertices to make the pair isolated.
+        sub, _ = balanced_six.subgraph(range(6))
+        assert signed_bipartiteness_ratio(
+            sub, {0, 1, 2}, {3, 4, 5}) == 0.0
+
+    def test_boundary_penalized(self, balanced_six):
+        value = signed_bipartiteness_ratio(
+            balanced_six, {0, 1, 2}, {3, 4, 5})
+        assert value > 0.0
+
+    def test_violations_penalized(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 2)], negative_edges=[(0, 1)])
+        assert signed_bipartiteness_ratio(graph, {0, 1}, {2, 3}) == \
+            pytest.approx(1.0)
+
+    def test_empty_volume(self):
+        graph = SignedGraph(4)
+        assert signed_bipartiteness_ratio(graph, {0}, {1}) == 0.0
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_range(self, graph):
+        vertices = list(graph.vertices())
+        if len(vertices) < 2:
+            return
+        half = len(vertices) // 2
+        value = signed_bipartiteness_ratio(
+            graph, vertices[:half], vertices[half:])
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestHAM:
+    def test_balanced_clique_is_one(self, balanced_six):
+        assert harmonic_polarization(
+            balanced_six, {0, 1, 2}, {3, 4, 5}) == pytest.approx(1.0)
+
+    def test_one_sided_clique_is_one(self, all_positive_clique):
+        assert harmonic_polarization(
+            all_positive_clique, set(range(5)), set()) == \
+            pytest.approx(1.0)
+
+    def test_totally_wrong_pair_is_zero(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 2), (1, 3)],
+            negative_edges=[(0, 1), (2, 3)])
+        assert harmonic_polarization(graph, {0, 1}, {2, 3}) == 0.0
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=60, deadline=None)
+    def test_every_balanced_clique_scores_one(self, graph):
+        """The paper's claim: HAM of a balanced clique is always 1."""
+        for clique in enumerate_balanced_cliques(graph):
+            assert harmonic_polarization(
+                graph, clique.left, clique.right) == pytest.approx(1.0)
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_range(self, graph):
+        vertices = list(graph.vertices())
+        if len(vertices) < 2:
+            return
+        half = len(vertices) // 2
+        value = harmonic_polarization(
+            graph, vertices[:half], vertices[half:])
+        assert 0.0 <= value <= 1.0 + 1e-9

@@ -1,0 +1,112 @@
+"""Tests for the polarization factor algorithms (PF-E, PF-BS, PF*)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force_polarization_factor
+from repro.core.pf import pf_binary_search, pf_enumeration, pf_star
+from repro.core.result import BalancedClique
+from repro.core.stats import SearchStats
+from repro.core.balance import is_balanced_clique
+from repro.signed.graph import SignedGraph
+
+from .conftest import make_random_signed_graph, signed_graphs
+
+
+class TestPFEnumeration:
+    def test_figure2(self, toy_figure2):
+        assert pf_enumeration(toy_figure2) == 2
+
+    def test_planted(self, balanced_six):
+        assert pf_enumeration(balanced_six) == 3
+
+    def test_all_positive(self, all_positive_clique):
+        assert pf_enumeration(all_positive_clique) == 0
+
+    def test_empty_graph(self):
+        assert pf_enumeration(SignedGraph(0)) == 0
+
+    def test_node_limit(self):
+        graph = make_random_signed_graph(18, 0.4, 0.4, seed=4)
+        with pytest.raises(RuntimeError):
+            pf_enumeration(graph, node_limit=2)
+
+
+class TestPFBinarySearch:
+    def test_figure2(self, toy_figure2):
+        assert pf_binary_search(toy_figure2) == 2
+
+    def test_planted(self, balanced_six):
+        assert pf_binary_search(balanced_six) == 3
+
+    def test_all_positive(self, all_positive_clique):
+        assert pf_binary_search(all_positive_clique) == 0
+
+    def test_empty_graph(self):
+        assert pf_binary_search(SignedGraph(0)) == 0
+
+
+class TestPFStar:
+    def test_figure2(self, toy_figure2):
+        assert pf_star(toy_figure2) == 2
+
+    def test_planted(self, balanced_six):
+        assert pf_star(balanced_six) == 3
+
+    def test_all_positive(self, all_positive_clique):
+        assert pf_star(all_positive_clique) == 0
+
+    def test_empty_graph(self):
+        assert pf_star(SignedGraph(0)) == 0
+
+    def test_degeneracy_ordering_variant(self, toy_figure2):
+        assert pf_star(toy_figure2, ordering="degeneracy") == 2
+
+    def test_unknown_ordering_rejected(self, toy_figure2):
+        with pytest.raises(ValueError):
+            pf_star(toy_figure2, ordering="bogus")
+
+    def test_witness(self, balanced_six):
+        beta, witness = pf_star(balanced_six, return_witness=True)
+        assert beta == 3
+        assert witness.polarization >= 3
+        assert is_balanced_clique(balanced_six, witness.vertices, tau=3)
+
+    def test_stats_recorded(self, toy_figure2):
+        stats = SearchStats()
+        pf_star(toy_figure2, stats=stats)
+        assert stats.heuristic_size >= 0
+
+
+class TestAgreement:
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=120, deadline=None)
+    def test_pf_star_matches_brute_force(self, graph):
+        assert pf_star(graph) == brute_force_polarization_factor(graph)
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_all_solvers_agree(self, graph):
+        expected = brute_force_polarization_factor(graph)
+        assert pf_enumeration(graph) == expected
+        assert pf_binary_search(graph) == expected
+        assert pf_star(graph) == expected
+        assert pf_star(graph, ordering="degeneracy") == expected
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=60, deadline=None)
+    def test_witness_achieves_beta(self, graph):
+        beta, witness = pf_star(graph, return_witness=True)
+        if beta == 0:
+            return
+        assert witness.polarization >= beta
+        assert is_balanced_clique(graph, witness.vertices, tau=beta)
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma4_chain(self, graph):
+        """Lemma 4 (implicitly): beta can always be reached by a chain
+        of +1 feasibility checks — so PF* with the degeneracy ordering
+        must agree with PF* with the polarization ordering."""
+        assert pf_star(graph) == pf_star(graph, ordering="degeneracy")

@@ -1,0 +1,82 @@
+"""Tests for the PolarSeeds-style local spectral baseline."""
+
+import pytest
+
+from repro.baselines.polarseeds import PolarizedCommunity, \
+    good_seed_pairs, polar_seeds
+from repro.datasets.registry import load
+from repro.metrics.polarity import polarity
+from repro.signed.graph import SignedGraph
+
+from .conftest import make_random_signed_graph
+
+
+class TestSeedPairs:
+    def test_requires_negative_edge(self, balanced_six):
+        pairs = good_seed_pairs(balanced_six, t=1, count=100)
+        for u, v in pairs:
+            assert balanced_six.sign(u, v) == -1
+            assert balanced_six.pos_degree(u) > 1
+            assert balanced_six.pos_degree(v) > 1
+
+    def test_threshold_filters(self, balanced_six):
+        assert good_seed_pairs(balanced_six, t=10) == []
+
+    def test_count_cap(self):
+        graph = load("bitcoin")
+        pairs = good_seed_pairs(graph, t=2, count=5, seed=1)
+        assert len(pairs) == 5
+
+    def test_deterministic_sampling(self):
+        graph = load("bitcoin")
+        a = good_seed_pairs(graph, t=2, count=5, seed=1)
+        b = good_seed_pairs(graph, t=2, count=5, seed=1)
+        assert a == b
+
+
+class TestPolarSeeds:
+    def test_finds_planted_conflict(self, balanced_six):
+        community = polar_seeds(balanced_six, 0, 3)
+        assert isinstance(community, PolarizedCommunity)
+        assert 0 in community.group1
+        assert 3 in community.group2
+        # The planted 3|3 conflict should dominate the sweep.
+        assert community.score >= polarity(
+            balanced_six, {0}, {3})
+
+    def test_groups_disjoint(self, balanced_six):
+        community = polar_seeds(balanced_six, 0, 3)
+        assert not (community.group1 & community.group2)
+
+    def test_size_property(self, balanced_six):
+        community = polar_seeds(balanced_six, 0, 3)
+        assert community.size == \
+            len(community.group1) + len(community.group2)
+
+    def test_max_subgraph_respected(self):
+        graph = make_random_signed_graph(100, 0.1, 0.1, seed=6)
+        pairs = [(u, v) for u, v, s in graph.edges() if s == -1]
+        if not pairs:
+            pytest.skip("no negative edge in sample")
+        u, v = pairs[0]
+        community = polar_seeds(graph, u, v, max_subgraph=10)
+        assert community.size <= 10
+
+    def test_isolated_seed_pair(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, -1)
+        community = polar_seeds(graph, 0, 1)
+        assert community.group1 == {0}
+        assert community.group2 == {1}
+
+    def test_clique_beats_spectral_community(self):
+        """The Figure 5 comparison in miniature: the maximum balanced
+        clique's polarity is at least the spectral community's."""
+        from repro.core.mbc_star import mbc_star
+
+        graph = load("bitcoin")
+        pairs = good_seed_pairs(graph, t=2, count=10, seed=2)
+        clique = mbc_star(graph, 3)
+        clique_score = polarity(graph, clique.left, clique.right)
+        scores = [polar_seeds(graph, u, v).score for u, v in pairs]
+        assert clique_score >= max(scores) * 0.8

@@ -1,0 +1,105 @@
+"""Tests for the rating-network → signed-graph conversion."""
+
+import pytest
+
+from repro.signed.ratings import RatingTable, random_rating_table, \
+    ratings_to_signed_graph
+
+
+class TestRatingTable:
+    def test_rate_and_read(self):
+        table = RatingTable(2, 3)
+        table.rate(0, 1, 4.0)
+        assert table.item_ratings(1) == {0: 4.0}
+        assert table.num_ratings == 1
+
+    def test_rate_overwrites(self):
+        table = RatingTable(1, 1)
+        table.rate(0, 0, 1.0)
+        table.rate(0, 0, 5.0)
+        assert table.item_ratings(0) == {0: 5.0}
+        assert table.num_ratings == 1
+
+    def test_bounds_checked(self):
+        table = RatingTable(1, 1)
+        with pytest.raises(ValueError):
+            table.rate(1, 0, 3.0)
+        with pytest.raises(ValueError):
+            table.rate(0, 1, 3.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RatingTable(-1, 2)
+
+
+class TestConversion:
+    def test_close_ratings_make_positive_edge(self):
+        table = RatingTable(2, 2)
+        table.rate(0, 0, 5.0)
+        table.rate(1, 0, 5.0)
+        table.rate(0, 1, 4.0)
+        table.rate(1, 1, 4.5)
+        graph = ratings_to_signed_graph(table, min_agreements=2)
+        assert graph.sign(0, 1) == 1
+
+    def test_opposite_ratings_make_negative_edge(self):
+        table = RatingTable(2, 2)
+        table.rate(0, 0, 5.0)
+        table.rate(1, 0, 1.0)
+        table.rate(0, 1, 5.0)
+        table.rate(1, 1, 1.0)
+        graph = ratings_to_signed_graph(table, min_agreements=2)
+        assert graph.sign(0, 1) == -1
+
+    def test_insufficient_agreements_no_edge(self):
+        table = RatingTable(2, 2)
+        table.rate(0, 0, 5.0)
+        table.rate(1, 0, 5.0)
+        graph = ratings_to_signed_graph(table, min_agreements=2)
+        assert graph.sign(0, 1) is None
+
+    def test_mixed_signals_cancel(self):
+        table = RatingTable(2, 4)
+        for item, (a, b) in enumerate(
+                [(5.0, 5.0), (5.0, 4.5), (1.0, 5.0), (5.0, 1.0)]):
+            table.rate(0, item, a)
+            table.rate(1, item, b)
+        graph = ratings_to_signed_graph(table, min_agreements=2)
+        assert graph.sign(0, 1) is None  # 2 close vs 2 opposite: tie
+
+    def test_middling_gaps_ignored(self):
+        table = RatingTable(2, 2)
+        table.rate(0, 0, 3.0)
+        table.rate(1, 0, 4.5)  # gap 1.5: neither close nor opposite
+        table.rate(0, 1, 3.0)
+        table.rate(1, 1, 4.5)
+        graph = ratings_to_signed_graph(table)
+        assert graph.num_edges == 0
+
+
+class TestRandomTable:
+    def test_taste_groups_polarize(self):
+        table = random_rating_table(
+            20, 40, ratings_per_user=20, taste_groups=2, noise=0.0,
+            seed=1)
+        graph = ratings_to_signed_graph(table)
+        same = [(u, v, s) for u, v, s in graph.edges()
+                if (u % 2) == (v % 2)]
+        cross = [(u, v, s) for u, v, s in graph.edges()
+                 if (u % 2) != (v % 2)]
+        assert same and all(s == 1 for _, _, s in same)
+        assert cross and all(s == -1 for _, _, s in cross)
+
+    def test_deterministic(self):
+        a = random_rating_table(10, 20, 5, seed=3)
+        b = random_rating_table(10, 20, 5, seed=3)
+        for item in range(20):
+            assert a.item_ratings(item) == b.item_ratings(item)
+
+    def test_requires_group(self):
+        with pytest.raises(ValueError):
+            random_rating_table(5, 5, 2, taste_groups=0)
+
+    def test_result_graph_validates(self):
+        table = random_rating_table(15, 30, 10, noise=0.3, seed=4)
+        ratings_to_signed_graph(table).validate()

@@ -1,0 +1,177 @@
+"""Tests for the related-work solvers: trusted cliques, (alpha, k)-
+cliques, the eigensign balanced-subgraph heuristic, and the
+recolouring bound."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.balanced_subgraph import eigensign_balanced_subgraph
+from repro.core.related import is_alpha_k_clique, \
+    maximum_alpha_k_clique, maximum_trusted_clique
+from repro.signed.balance import is_structurally_balanced
+from repro.signed.generators import plant_balanced_clique
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+from repro.unsigned.clique import maximum_clique_size
+from repro.unsigned.coloring import coloring_upper_bound
+from repro.unsigned.recolor import recolor, recoloring_upper_bound
+
+from .conftest import make_random_signed_graph, signed_graphs
+from .test_unsigned import unsigned_graphs
+
+
+class TestTrustedClique:
+    def test_positive_clique_found(self, all_positive_clique):
+        assert maximum_trusted_clique(all_positive_clique) == set(range(5))
+
+    def test_ignores_negative_edges(self, balanced_six):
+        clique = maximum_trusted_clique(balanced_six)
+        # Each side of the balanced clique is an all-positive triangle.
+        assert len(clique) == 3
+
+    def test_empty_graph(self):
+        assert maximum_trusted_clique(SignedGraph(0)) == set()
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_positive_subgraph_oracle(self, graph):
+        """Trusted clique == max clique of the positive subgraph, the
+        reduction the paper states."""
+        found = maximum_trusted_clique(graph)
+        # Verify all-positive clique-ness.
+        for u, v in itertools.combinations(found, 2):
+            assert graph.sign(u, v) == 1
+        # Compare size against exhaustive search over positive cliques.
+        best = 0
+        vertices = list(graph.vertices())
+        for size in range(1, len(vertices) + 1):
+            for combo in itertools.combinations(vertices, size):
+                if all(graph.sign(a, b) == 1
+                       for a, b in itertools.combinations(combo, 2)):
+                    best = max(best, size)
+        assert len(found) == best
+
+
+def oracle_alpha_k(graph: SignedGraph, alpha: float, k: int) -> int:
+    best = 0
+    vertices = list(graph.vertices())
+    for size in range(1, len(vertices) + 1):
+        for combo in itertools.combinations(vertices, size):
+            if is_alpha_k_clique(graph, set(combo), alpha, k):
+                best = max(best, size)
+    return best
+
+
+class TestAlphaKClique:
+    def test_is_alpha_k_on_balanced_clique(self, balanced_six):
+        # Sides of 3: each member has 3 negative and 2 positive inside.
+        members = set(range(6))
+        assert is_alpha_k_clique(balanced_six, members, alpha=0.5,
+                                 k=3)
+        assert not is_alpha_k_clique(balanced_six, members, alpha=1.5,
+                                     k=3)
+        assert not is_alpha_k_clique(balanced_six, members, alpha=0.5,
+                                     k=2)
+
+    def test_non_clique_rejected(self, balanced_six):
+        assert not is_alpha_k_clique(
+            balanced_six, {0, 6, 7}, alpha=0.0, k=5)
+
+    def test_maximum_on_planted(self, balanced_six):
+        found = maximum_alpha_k_clique(balanced_six, alpha=0.5, k=3)
+        assert len(found) == 6
+
+    def test_infeasible_alpha(self, balanced_six):
+        found = maximum_alpha_k_clique(balanced_six, alpha=10.0, k=3)
+        assert found == set()
+
+    def test_unbalanced_cliques_allowed(self):
+        """(alpha, k)-cliques need not be structurally balanced — the
+        contrast the paper draws with [31]."""
+        graph = SignedGraph.from_edges(
+            3, negative_edges=[(0, 1), (1, 2), (0, 2)])
+        found = maximum_alpha_k_clique(graph, alpha=0.0, k=2)
+        assert len(found) == 3
+        assert not is_structurally_balanced(graph)
+
+    @given(signed_graphs(max_vertices=8),
+           st.sampled_from([0.0, 0.5, 1.0]),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_oracle(self, graph, alpha, k):
+        expected = oracle_alpha_k(graph, alpha, k)
+        found = maximum_alpha_k_clique(graph, alpha, k)
+        if found:
+            assert is_alpha_k_clique(graph, found, alpha, k)
+        assert len(found) == expected
+
+
+class TestBalancedSubgraph:
+    def test_empty_graph(self):
+        result = eigensign_balanced_subgraph(SignedGraph(0))
+        assert result.size == 0
+
+    def test_balanced_graph_kept_whole(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        result = eigensign_balanced_subgraph(sub, keep_fraction=1.0)
+        assert result.size == 6
+        assert result.edges_kept == 15
+
+    def test_result_is_balanced(self):
+        graph = make_random_signed_graph(40, 0.2, 0.2, seed=8)
+        result = eigensign_balanced_subgraph(graph)
+        sub, _ = graph.subgraph(result.vertices)
+        assert is_structurally_balanced(sub)
+
+    def test_finds_planted_structure(self):
+        graph = make_random_signed_graph(60, 0.02, 0.02, seed=9)
+        plant_balanced_clique(
+            graph, list(range(8)), list(range(8, 16)))
+        result = eigensign_balanced_subgraph(graph)
+        assert result.size >= 12
+
+    @given(signed_graphs(max_vertices=12))
+    @settings(max_examples=40, deadline=None)
+    def test_always_returns_balanced_subgraph(self, graph):
+        result = eigensign_balanced_subgraph(graph)
+        sub, _ = graph.subgraph(result.vertices)
+        assert is_structurally_balanced(sub)
+        assert not (result.left & result.right)
+
+
+class TestRecoloring:
+    @given(unsigned_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_recolor_is_proper(self, graph):
+        from repro.unsigned.coloring import is_proper_coloring
+
+        colors = recolor(graph)
+        assert is_proper_coloring(graph, colors)
+        assert set(colors) == set(graph.vertices())
+
+    @given(unsigned_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_bound_sandwich(self, graph):
+        """clique <= recolor bound <= greedy bound."""
+        lower = maximum_clique_size(graph)
+        improved = recoloring_upper_bound(graph)
+        plain = coloring_upper_bound(graph)
+        assert lower <= improved <= plain
+
+    def test_improves_on_a_known_case(self):
+        """A 5-cycle: greedy from degree order may use 3 colours; the
+        bound must never drop below the true chromatic number (3)."""
+        graph = SignedGraph(5)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]
+        from repro.unsigned.graph import UnsignedGraph
+
+        unsigned = UnsignedGraph.from_edges(5, edges)
+        assert recoloring_upper_bound(unsigned) >= 3
+
+    def test_empty(self):
+        from repro.unsigned.graph import UnsignedGraph
+
+        assert recoloring_upper_bound(UnsignedGraph(0)) == 0

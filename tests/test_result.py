@@ -1,0 +1,75 @@
+"""Tests for the BalancedClique result type."""
+
+import pytest
+
+from repro.core.result import EMPTY_RESULT, BalancedClique
+from repro.signed.graph import SignedGraph
+
+
+class TestConstruction:
+    def test_from_sides_canonicalizes(self):
+        a = BalancedClique.from_sides({5, 6}, {1, 2})
+        b = BalancedClique.from_sides({1, 2}, {5, 6})
+        assert a == b
+        assert min(a.left) == 1
+
+    def test_empty_side_goes_right(self):
+        clique = BalancedClique.from_sides(set(), {3, 4})
+        assert clique.left == {3, 4}
+        assert clique.right == frozenset()
+
+    def test_from_vertices(self, toy_figure2):
+        clique = BalancedClique.from_vertices(toy_figure2, {0, 1, 2, 3})
+        assert clique.vertices == {0, 1, 2, 3}
+        assert clique.polarization == 2
+
+    def test_from_vertices_rejects_unbalanced(self, toy_figure2):
+        with pytest.raises(ValueError):
+            BalancedClique.from_vertices(toy_figure2, {0, 4})
+
+
+class TestProperties:
+    def test_size(self):
+        clique = BalancedClique.from_sides({1, 2}, {3})
+        assert clique.size == 3
+
+    def test_polarization(self):
+        clique = BalancedClique.from_sides({1, 2, 3}, {4})
+        assert clique.polarization == 1
+
+    def test_polarization_one_sided(self):
+        clique = BalancedClique.from_sides({1, 2, 3}, set())
+        assert clique.polarization == 0
+
+    def test_satisfies(self):
+        clique = BalancedClique.from_sides({1, 2}, {3, 4, 5})
+        assert clique.satisfies(2)
+        assert not clique.satisfies(3)
+
+    def test_empty_result(self):
+        assert EMPTY_RESULT.is_empty
+        assert EMPTY_RESULT.size == 0
+        assert EMPTY_RESULT.satisfies(0)
+        assert not EMPTY_RESULT.satisfies(1)
+
+    def test_equality_and_hash(self):
+        a = BalancedClique.from_sides({1}, {2})
+        b = BalancedClique.from_sides({2}, {1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestDescribe:
+    def test_describe_with_ids(self):
+        clique = BalancedClique.from_sides({0, 1}, {2})
+        text = clique.describe()
+        assert "|C|=3" in text
+        assert "<2|1>" in text
+
+    def test_describe_with_labels(self):
+        graph = SignedGraph(3, labels=["alpha", "beta", "gamma"])
+        clique = BalancedClique.from_sides({0}, {2})
+        text = clique.describe(graph)
+        assert "alpha" in text
+        assert "gamma" in text

@@ -1,0 +1,283 @@
+"""Unit tests for the SignedGraph substrate."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+from .conftest import signed_graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = SignedGraph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_vertex_count(self):
+        assert SignedGraph(7).num_vertices == 7
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            SignedGraph(-1)
+
+    def test_from_edges(self):
+        graph = SignedGraph.from_edges(
+            3, positive_edges=[(0, 1)], negative_edges=[(1, 2)])
+        assert graph.sign(0, 1) == POSITIVE
+        assert graph.sign(1, 2) == NEGATIVE
+        assert graph.sign(0, 2) is None
+
+    def test_from_signed_edges(self):
+        graph = SignedGraph.from_signed_edges(
+            3, [(0, 1, 1), (1, 2, -1)])
+        assert graph.num_positive_edges == 1
+        assert graph.num_negative_edges == 1
+
+    def test_labels_must_match_length(self):
+        with pytest.raises(ValueError):
+            SignedGraph(2, labels=["only-one"])
+
+    def test_labels_round_trip(self):
+        graph = SignedGraph(2, labels=["a", "b"])
+        assert graph.label(0) == "a"
+        assert graph.labels() == ["a", "b"]
+
+    def test_default_labels_are_ids(self):
+        graph = SignedGraph(2)
+        assert graph.label(1) == "1"
+        assert graph.labels() == ["0", "1"]
+
+    def test_copy_is_deep(self):
+        graph = SignedGraph.from_edges(3, positive_edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2, NEGATIVE)
+        assert not graph.has_edge(1, 2)
+        assert clone.has_edge(1, 2)
+
+    def test_copy_preserves_labels(self):
+        graph = SignedGraph(2, labels=["x", "y"])
+        assert graph.copy().labels() == ["x", "y"]
+
+
+class TestEdges:
+    def test_add_positive_edge(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, POSITIVE)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.sign(1, 0) == POSITIVE
+
+    def test_add_negative_edge(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 2, NEGATIVE)
+        assert graph.sign(0, 2) == NEGATIVE
+
+    def test_self_loop_rejected(self):
+        graph = SignedGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1, POSITIVE)
+
+    def test_out_of_range_rejected(self):
+        graph = SignedGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3, POSITIVE)
+
+    def test_invalid_sign_rejected(self):
+        graph = SignedGraph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 0)
+
+    def test_conflicting_sign_rejected(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, POSITIVE)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, NEGATIVE)
+
+    def test_duplicate_same_sign_is_idempotent(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, POSITIVE)
+        graph.add_edge(0, 1, POSITIVE)
+        assert graph.num_edges == 1
+
+    def test_remove_edge(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, POSITIVE)
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 0
+
+    def test_remove_negative_edge(self):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, NEGATIVE)
+        graph.remove_edge(1, 0)
+        assert graph.num_edges == 0
+
+    def test_remove_missing_edge_raises(self):
+        graph = SignedGraph(3)
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_isolate_vertex(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1), (0, 2)],
+            negative_edges=[(0, 3), (1, 2)])
+        graph.isolate_vertex(0)
+        assert graph.degree(0) == 0
+        assert graph.num_edges == 1
+        graph.validate()
+
+    def test_edges_iterates_each_once(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1), (2, 3)], negative_edges=[(1, 2)])
+        edges = sorted(graph.edges())
+        assert edges == [(0, 1, 1), (1, 2, -1), (2, 3, 1)]
+
+    def test_add_vertex_extends_graph(self):
+        graph = SignedGraph(2)
+        new = graph.add_vertex()
+        assert new == 2
+        graph.add_edge(0, 2, POSITIVE)
+        assert graph.has_edge(0, 2)
+
+    def test_add_vertex_with_label(self):
+        graph = SignedGraph(1)
+        graph.add_vertex(label="hub")
+        assert graph.label(1) == "hub"
+        assert graph.label(0) == "0"
+
+
+class TestDegreesAndNeighbors:
+    @pytest.fixture
+    def graph(self) -> SignedGraph:
+        return SignedGraph.from_edges(
+            5,
+            positive_edges=[(0, 1), (0, 2)],
+            negative_edges=[(0, 3), (0, 4), (1, 2)])
+
+    def test_pos_degree(self, graph):
+        assert graph.pos_degree(0) == 2
+
+    def test_neg_degree(self, graph):
+        assert graph.neg_degree(0) == 2
+
+    def test_total_degree(self, graph):
+        assert graph.degree(0) == 4
+
+    def test_pos_neighbors(self, graph):
+        assert graph.pos_neighbors(0) == {1, 2}
+
+    def test_neg_neighbors(self, graph):
+        assert graph.neg_neighbors(0) == {3, 4}
+
+    def test_neighbors_union(self, graph):
+        assert graph.neighbors(0) == {1, 2, 3, 4}
+
+    def test_counts(self, graph):
+        assert graph.num_positive_edges == 2
+        assert graph.num_negative_edges == 3
+        assert graph.num_edges == 5
+
+    def test_negative_ratio(self, graph):
+        assert graph.negative_ratio == pytest.approx(0.6)
+
+    def test_negative_ratio_empty_graph(self):
+        assert SignedGraph(3).negative_ratio == 0.0
+
+    def test_degree_statistics(self, graph):
+        stats = graph.degree_statistics()
+        assert stats["max_degree"] == 4
+        assert stats["avg_degree"] == pytest.approx(2.0)
+        assert stats["max_pos_degree"] == 2
+        assert stats["max_neg_degree"] == 2
+
+    def test_degree_statistics_empty(self):
+        stats = SignedGraph(0).degree_statistics()
+        assert stats["max_degree"] == 0
+
+
+class TestSubgraph:
+    def test_subgraph_basic(self):
+        graph = SignedGraph.from_edges(
+            5, positive_edges=[(0, 1), (1, 2)],
+            negative_edges=[(2, 3), (3, 4)])
+        sub, mapping = graph.subgraph([1, 2, 3])
+        assert mapping == [1, 2, 3]
+        assert sub.num_vertices == 3
+        assert sub.sign(0, 1) == POSITIVE  # (1, 2)
+        assert sub.sign(1, 2) == NEGATIVE  # (2, 3)
+        assert sub.num_edges == 2
+
+    def test_subgraph_excludes_outside_edges(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1)], negative_edges=[(2, 3)])
+        sub, _mapping = graph.subgraph([0, 2])
+        assert sub.num_edges == 0
+
+    def test_subgraph_deduplicates_vertices(self):
+        graph = SignedGraph(4)
+        sub, mapping = graph.subgraph([2, 2, 0])
+        assert mapping == [0, 2]
+        assert sub.num_vertices == 2
+
+    def test_subgraph_keeps_labels(self):
+        graph = SignedGraph(3, labels=["a", "b", "c"])
+        sub, _ = graph.subgraph([0, 2])
+        assert sub.labels() == ["a", "c"]
+
+    def test_subgraph_validates(self):
+        graph = SignedGraph.from_edges(
+            6, positive_edges=[(0, 1), (2, 4)],
+            negative_edges=[(1, 5), (3, 4)])
+        sub, _ = graph.subgraph([1, 3, 4, 5])
+        sub.validate()
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, toy_figure2):
+        toy_figure2.validate()
+
+    def test_detects_double_sign(self):
+        graph = SignedGraph(2)
+        graph.add_edge(0, 1, POSITIVE)
+        graph._neg[0].add(1)
+        graph._neg[1].add(0)
+        with pytest.raises(AssertionError):
+            graph.validate()
+
+    def test_detects_asymmetry(self):
+        graph = SignedGraph(2)
+        graph._pos[0].add(1)
+        with pytest.raises(AssertionError):
+            graph.validate()
+
+
+class TestPropertyBased:
+    @given(signed_graphs(max_vertices=12))
+    @settings(max_examples=60, deadline=None)
+    def test_random_graphs_validate(self, graph):
+        graph.validate()
+
+    @given(signed_graphs(max_vertices=12))
+    @settings(max_examples=60, deadline=None)
+    def test_edge_count_matches_iteration(self, graph):
+        assert graph.num_edges == sum(1 for _ in graph.edges())
+
+    @given(signed_graphs(max_vertices=12))
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_to_twice_edges(self, graph):
+        total = sum(graph.degree(v) for v in graph.vertices())
+        assert total == 2 * graph.num_edges
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_of_all_vertices_is_identity(self, graph):
+        sub, mapping = graph.subgraph(graph.vertices())
+        assert mapping == list(graph.vertices())
+        assert sorted(sub.edges()) == sorted(graph.edges())
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, graph):
+        clone = graph.copy()
+        assert sorted(clone.edges()) == sorted(graph.edges())

@@ -1,0 +1,98 @@
+"""Tests for signed-graph I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+from repro.signed.io import load_signed_graph, parse_edge_lines, \
+    read_edge_list, save_signed_graph, write_edge_list
+
+from .conftest import signed_graphs
+
+
+class TestParse:
+    def test_basic_lines(self):
+        triples = list(parse_edge_lines(["0 1 1", "1 2 -1"]))
+        assert triples == [(0, 1, POSITIVE), (1, 2, NEGATIVE)]
+
+    def test_sign_tokens(self):
+        triples = list(parse_edge_lines(
+            ["0 1 +1", "0 2 +", "0 3 -", "0 4 -1"]))
+        assert [s for _, _, s in triples] == [1, 1, -1, -1]
+
+    def test_skips_comments_and_blanks(self):
+        triples = list(parse_edge_lines(
+            ["# header", "", "   ", "0 1 1"]))
+        assert triples == [(0, 1, POSITIVE)]
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(parse_edge_lines(["0 1"]))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            list(parse_edge_lines(["a b 1"]))
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError, match="sign"):
+            list(parse_edge_lines(["0 1 2"]))
+
+
+class TestReadWrite:
+    def test_read_compacts_sparse_ids(self):
+        graph = read_edge_list(io.StringIO("10 20 1\n20 30 -1\n"))
+        assert graph.num_vertices == 3
+        assert graph.sign(0, 1) == POSITIVE
+        assert graph.sign(1, 2) == NEGATIVE
+
+    def test_read_merges_duplicates(self):
+        graph = read_edge_list(io.StringIO("0 1 1\n1 0 1\n"))
+        assert graph.num_edges == 1
+
+    def test_read_rejects_conflicting_duplicates(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            read_edge_list(io.StringIO("0 1 1\n0 1 -1\n"))
+
+    def test_write_contains_all_edges(self):
+        graph = SignedGraph.from_edges(
+            3, positive_edges=[(0, 1)], negative_edges=[(1, 2)])
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        body = buffer.getvalue()
+        assert "0 1 1" in body
+        assert "1 2 -1" in body
+
+    def test_round_trip_via_stream(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1), (2, 3)], negative_edges=[(0, 3)])
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_round_trip_via_file(self, tmp_path):
+        graph = SignedGraph.from_edges(
+            5, positive_edges=[(0, 4), (1, 2)], negative_edges=[(3, 4)])
+        path = tmp_path / "graph.txt"
+        save_signed_graph(graph, path)
+        loaded = load_signed_graph(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    @given(signed_graphs(max_vertices=12))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, graph):
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer)
+        # Isolated vertices are not representable in an edge list, so
+        # compare edge sets modulo the id compaction.
+        used = sorted({u for u, v, _ in graph.edges()}
+                      | {v for u, v, _ in graph.edges()})
+        relabel = {old: new for new, old in enumerate(used)}
+        expected = sorted(
+            (relabel[u], relabel[v], s) for u, v, s in graph.edges())
+        assert sorted(loaded.edges()) == expected

@@ -1,0 +1,40 @@
+"""Tests for the SearchStats instrumentation."""
+
+import pytest
+
+from repro.core.stats import SearchStats
+
+
+class TestSearchStats:
+    def test_defaults(self):
+        stats = SearchStats()
+        assert stats.instances == 0
+        assert stats.sr1 is None
+        assert stats.sr2 is None
+
+    def test_record_reduction(self):
+        stats = SearchStats()
+        stats.record_reduction(100, 50, 20)
+        assert stats.sr1 == pytest.approx(0.5)
+        assert stats.sr2 == pytest.approx(0.8)
+
+    def test_record_skips_empty_ego(self):
+        stats = SearchStats()
+        stats.record_reduction(0, 0, 0)
+        assert stats.sr1 is None
+
+    def test_averaging(self):
+        stats = SearchStats()
+        stats.record_reduction(100, 50, 50)   # SR1 = 0.5
+        stats.record_reduction(100, 100, 100)  # SR1 = 0.0
+        assert stats.sr1 == pytest.approx(0.25)
+
+    def test_merge(self):
+        a = SearchStats(instances=2, nodes=10)
+        a.record_reduction(10, 5, 5)
+        b = SearchStats(instances=3, nodes=7)
+        b.record_reduction(10, 10, 10)
+        a.merge(b)
+        assert a.instances == 5
+        assert a.nodes == 17
+        assert len(a.sr1_samples) == 2

@@ -1,0 +1,145 @@
+"""Tests tying the implementation back to the paper's formal claims.
+
+Each test realizes one theorem or lemma on concrete instances:
+
+* Theorem 1 — the NP-hardness gadget: the reduction from maximum
+  clique to maximum balanced clique behaves as the proof requires;
+* Theorem 2 — the dichromatic decomposition computes the optimum;
+* Lemma 1 / Lemma 2 — degree pruning and colouring bounds are safe;
+* Lemma 4 — the +1 chain over any total ordering;
+* Lemma 5 — pn(u) bounds gamma(g_u);
+* Lemma 6 — monotonicity over tau.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force_maximum_balanced_clique
+from repro.core.mbc_star import mbc_star
+from repro.dichromatic.build import build_dichromatic_network
+from repro.dichromatic.mdc import solve_mdc
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+from repro.unsigned.clique import maximum_clique_size
+from repro.unsigned.coloring import coloring_upper_bound
+from repro.unsigned.graph import UnsignedGraph
+from repro.unsigned.ordering import degeneracy_ordering
+
+from .conftest import signed_graphs
+
+
+def hardness_gadget(unsigned: UnsignedGraph, tau: int) -> SignedGraph:
+    """The Theorem 1 reduction: G (all positive) + a positive
+    tau-clique, with all cross edges negative."""
+    n = unsigned.num_vertices
+    signed = SignedGraph(n + tau)
+    for u, v in unsigned.edges():
+        signed.add_edge(u, v, POSITIVE)
+    for i in range(tau):
+        for j in range(i + 1, tau):
+            signed.add_edge(n + i, n + j, POSITIVE)
+    for i in range(tau):
+        for v in range(n):
+            signed.add_edge(n + i, v, NEGATIVE)
+    return signed
+
+
+class TestTheorem1:
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_equivalence(self, tau, seed):
+        """G has a clique of size >= tau iff the gadget has a balanced
+        clique satisfying tau — and the maximum balanced clique size
+        equals max-clique size + tau when feasible."""
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 8)
+        unsigned = UnsignedGraph(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.5:
+                    unsigned.add_edge(u, v)
+        gadget = hardness_gadget(unsigned, tau)
+        omega = maximum_clique_size(unsigned)
+        balanced = mbc_star(gadget, tau)
+        if omega >= tau:
+            assert balanced.size == omega + tau
+        else:
+            assert balanced.is_empty
+
+
+class TestTheorem2:
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=60, deadline=None)
+    def test_decomposition_computes_optimum(self, graph, tau):
+        """max over u of (1 + best dichromatic clique in g_u built on
+        higher-ranked neighbours) equals the maximum balanced clique
+        size."""
+        expected = brute_force_maximum_balanced_clique(graph, tau).size
+        unsigned = UnsignedGraph.from_signed(graph)
+        order = degeneracy_ordering(unsigned)
+        rank = {v: i for i, v in enumerate(order)}
+        best = 0
+        for u in graph.vertices():
+            allowed = {v for v in graph.vertices()
+                       if rank[v] > rank[u]}
+            network = build_dichromatic_network(graph, u, allowed)
+            found = solve_mdc(network, tau - 1, tau, must_exceed=-1)
+            if found is not None:
+                best = max(best, len(found) + 1)
+        assert best == expected
+
+
+class TestLemmas:
+    @given(signed_graphs(max_vertices=9),
+           st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_degree_pruning_safe(self, graph, tau):
+        """Removing vertices with unsigned degree < |C*| - 1 does not
+        change the optimum (Lemma 1 applied to balanced cliques)."""
+        optimum = brute_force_maximum_balanced_clique(graph, tau)
+        if optimum.size <= 1:
+            return
+        keep = {v for v in graph.vertices()
+                if graph.degree(v) >= optimum.size - 1}
+        sub, mapping = graph.subgraph(keep)
+        reduced_optimum = brute_force_maximum_balanced_clique(sub, tau)
+        assert reduced_optimum.size == optimum.size
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma2_coloring_bounds_unsigned_clique(self, graph):
+        unsigned = UnsignedGraph.from_signed(graph)
+        assert coloring_upper_bound(unsigned) >= \
+            maximum_clique_size(unsigned)
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma4_plus_one_chain(self, graph):
+        """gamma over the reverse ordering increases by at most one
+        per processed vertex (the property PF* exploits)."""
+        unsigned = UnsignedGraph.from_signed(graph)
+        order = degeneracy_ordering(unsigned)
+        rank = {v: i for i, v in enumerate(order)}
+
+        def gamma(u: int) -> int:
+            allowed = {v for v in graph.vertices()
+                       if rank[v] > rank[u]}
+            network = build_dichromatic_network(graph, u, allowed)
+            value = 0
+            while True:
+                found = solve_mdc(network, value, value + 1,
+                                  must_exceed=-1, check_only=True)
+                if found is None:
+                    return value
+                value += 1
+
+        running = 0
+        for u in reversed(order):
+            value = gamma(u)
+            assert value <= running + 1
+            running = max(running, value)

@@ -1,0 +1,126 @@
+"""Tests for the signed triangle census."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.signed.balance import is_structurally_balanced
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+from repro.signed.triangles import balance_degree, \
+    edge_triangle_profile, triangle_census
+
+from .conftest import signed_graphs
+
+
+def triangle(s1: int, s2: int, s3: int) -> SignedGraph:
+    graph = SignedGraph(3)
+    graph.add_edge(0, 1, s1)
+    graph.add_edge(1, 2, s2)
+    graph.add_edge(0, 2, s3)
+    return graph
+
+
+class TestSingleTriangles:
+    def test_ppp(self):
+        census = triangle_census(triangle(1, 1, 1))
+        assert (census.ppp, census.pnn, census.ppn, census.nnn) == \
+            (1, 0, 0, 0)
+
+    def test_pnn_all_rotations(self):
+        for signs in set(itertools.permutations([1, -1, -1])):
+            census = triangle_census(triangle(*signs))
+            assert census.pnn == 1, signs
+            assert census.total == 1
+
+    def test_ppn_all_rotations(self):
+        for signs in set(itertools.permutations([1, 1, -1])):
+            census = triangle_census(triangle(*signs))
+            assert census.ppn == 1, signs
+
+    def test_nnn(self):
+        census = triangle_census(triangle(-1, -1, -1))
+        assert census.nnn == 1
+
+    def test_balanced_matches_sign_product(self):
+        for signs in itertools.product([1, -1], repeat=3):
+            census = triangle_census(triangle(*signs))
+            product = signs[0] * signs[1] * signs[2]
+            assert census.balanced == (1 if product > 0 else 0)
+
+
+class TestCensusProperties:
+    def test_triangle_free(self):
+        graph = SignedGraph.from_edges(
+            4, positive_edges=[(0, 1), (2, 3)])
+        census = triangle_census(graph)
+        assert census.total == 0
+        assert census.balance_degree == 1.0
+
+    def test_balanced_clique_counts(self, balanced_six):
+        sub, _ = balanced_six.subgraph(range(6))
+        census = triangle_census(sub)
+        # Two positive triangles (one per side) plus every mixed
+        # triangle has exactly one positive and two negative edges.
+        assert census.ppp == 2
+        assert census.ppn == 0
+        assert census.nnn == 0
+        assert census.total == 20  # C(6,3)
+        assert census.balance_degree == 1.0
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_total_matches_unsigned_triangle_count(self, graph):
+        brute = 0
+        vertices = list(graph.vertices())
+        for u, v, w in itertools.combinations(vertices, 3):
+            if (graph.has_edge(u, v) and graph.has_edge(v, w)
+                    and graph.has_edge(u, w)):
+                brute += 1
+        assert triangle_census(graph).total == brute
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=60, deadline=None)
+    def test_census_matches_brute_force_by_type(self, graph):
+        counts = {"ppp": 0, "pnn": 0, "ppn": 0, "nnn": 0}
+        vertices = list(graph.vertices())
+        for u, v, w in itertools.combinations(vertices, 3):
+            signs = [graph.sign(u, v), graph.sign(v, w),
+                     graph.sign(u, w)]
+            if None in signs:
+                continue
+            positives = signs.count(1)
+            key = {3: "ppp", 2: "ppn", 1: "pnn", 0: "nnn"}[positives]
+            counts[key] += 1
+        census = triangle_census(graph)
+        assert (census.ppp, census.ppn, census.pnn, census.nnn) == (
+            counts["ppp"], counts["ppn"], counts["pnn"],
+            counts["nnn"])
+
+    @given(signed_graphs(max_vertices=9))
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_graphs_have_degree_one(self, graph):
+        """Every triangle of a structurally balanced graph is balanced
+        (cycles have even negative counts)."""
+        if is_structurally_balanced(graph):
+            assert balance_degree(graph) == 1.0
+
+
+class TestEdgeProfile:
+    def test_profile_counts(self, balanced_six):
+        profile = edge_triangle_profile(balanced_six, 0, 1)
+        # Third vertex 2: positive to both; 3, 4, 5: negative to both.
+        assert profile["pos_pos"] == 1
+        assert profile["neg_neg"] == 3
+        assert profile["pos_neg"] == 0
+
+    def test_cross_edge_profile(self, balanced_six):
+        profile = edge_triangle_profile(balanced_six, 0, 3)
+        # Same-side mates of 0 are positive to 0, negative to 3.
+        assert profile["pos_neg"] == 2
+        assert profile["neg_pos"] == 2
+        assert profile["pos_pos"] == 0
+
+    def test_missing_edge_raises(self, balanced_six):
+        with pytest.raises(KeyError):
+            edge_triangle_profile(balanced_six, 0, 7)
