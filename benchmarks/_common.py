@@ -12,7 +12,11 @@ evaluation (Section VI).  Conventions:
   one execution); alongside seconds we report **search nodes**, the
   machine-independent effort metric — at Python scale the wall-clock
   ratios between algorithms are compressed, while node ratios retain
-  the paper's orders of magnitude (see EXPERIMENTS.md).
+  the paper's orders of magnitude (see EXPERIMENTS.md);
+* ``REPRO_ENGINE`` selects the adjacency engine (``bitset`` default,
+  ``set`` for the original representation) for the engine-aware
+  solvers, so ``REPRO_ENGINE=set python benchmarks/...`` reproduces
+  pre-kernel timings.
 """
 
 from __future__ import annotations
@@ -26,6 +30,9 @@ from repro.datasets.registry import dataset_names, load
 from repro.signed.graph import SignedGraph
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Adjacency engine for the engine-aware solvers (MBC*, PF*, gMBC*).
+BENCH_ENGINE = os.environ.get("REPRO_ENGINE", "bitset")
 
 #: All 14 stand-ins, Table I order.
 ALL_DATASETS = dataset_names()
@@ -55,7 +62,7 @@ def sample_vertices(
     """Induced subgraph on a random vertex sample (Figures 10/12)."""
     rng = random.Random(seed)
     n = graph.num_vertices
-    count = max(int(n * fraction), 1)
+    count = min(max(int(n * fraction), 1), n)
     chosen = rng.sample(range(n), count)
     sub, _mapping = graph.subgraph(chosen)
     return sub

@@ -1,0 +1,234 @@
+"""Kernel microbenchmark — set vs bitset engine (perf baseline).
+
+Two levels, matching how the engines differ in practice:
+
+* **micro** — the four hot kernels (candidate intersection, k-core
+  peeling, bicore peeling, colouring bound) timed head-to-head on the
+  per-vertex dichromatic networks that MBC* actually builds, so the
+  masks see realistic sizes and densities;
+* **end-to-end** — ``mbc_star`` on every stand-in dataset with both
+  engines, asserting identical optimum sizes; this is the wall-clock
+  number behind the Figure 6 acceptance criterion.
+
+Standalone mode writes ``BENCH_kernels.json`` next to the repo root
+(``python benchmarks/bench_kernels.py``), giving the committed
+before/after record; the pytest targets wire the same workloads into
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.mbc_star import mbc_star
+from repro.dichromatic.build import build_dichromatic_network_bits
+from repro.dichromatic.cores import bicore_active, \
+    coloring_upper_bound_active, k_core_active
+from repro.kernels.active import bicore_active_mask, \
+    coloring_upper_bound_active_mask, k_core_active_mask
+
+try:
+    from ._common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        format_seconds, print_table, run_once, timed
+except ImportError:
+    from _common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        format_seconds, print_table, run_once, timed
+
+#: Dataset whose ego networks feed the micro level (mid-sized, dense
+#: enough that every kernel has real work).
+MICRO_DATASET = "douban"
+
+#: How many of the largest ego networks to keep.
+MICRO_NETWORKS = 40
+
+
+def _micro_networks():
+    """The largest dichromatic networks of the micro dataset."""
+    graph = bench_graph(MICRO_DATASET)
+    networks = [
+        build_dichromatic_network_bits(graph, u)
+        for u in graph.vertices()]
+    networks.sort(key=lambda n: n.num_edges, reverse=True)
+    return networks[:MICRO_NETWORKS]
+
+
+def _micro_workloads():
+    """(name, set_thunk, bitset_thunk) triples over the ego networks."""
+    networks = _micro_networks()
+    k = DEFAULT_TAU
+    prepared = []
+    for network in networks:
+        adj = network.adjacency_bits()
+        left = network.left_bits()
+        active_mask = network.all_bits()
+        active_set = set(network.vertices())
+        prepared.append((network, adj, left, active_mask, active_set))
+
+    def run_intersection_set():
+        total = 0
+        for network, _adj, _left, _mask, active in prepared:
+            for v in network.vertices():
+                total += len(network.neighbors(v) & active)
+        return total
+
+    def run_intersection_bitset():
+        total = 0
+        for _network, adj, _left, mask, _active in prepared:
+            for row in adj:
+                total += (row & mask).bit_count()
+        return total
+
+    def run_kcore_set():
+        return [
+            len(k_core_active(network, k, active))
+            for network, _adj, _left, _mask, active in prepared]
+
+    def run_kcore_bitset():
+        return [
+            k_core_active_mask(adj, k, mask).bit_count()
+            for _network, adj, _left, mask, _active in prepared]
+
+    def run_bicore_set():
+        return [
+            len(bicore_active(network, k, k, active))
+            for network, _adj, _left, _mask, active in prepared]
+
+    def run_bicore_bitset():
+        return [
+            bicore_active_mask(adj, left, k, k, mask).bit_count()
+            for _network, adj, left, mask, _active in prepared]
+
+    def run_coloring_set():
+        return [
+            coloring_upper_bound_active(network, active)
+            for network, _adj, _left, _mask, active in prepared]
+
+    def run_coloring_bitset():
+        return [
+            coloring_upper_bound_active_mask(adj, mask)
+            for _network, adj, _left, mask, _active in prepared]
+
+    return [
+        ("intersection", run_intersection_set, run_intersection_bitset),
+        ("k_core", run_kcore_set, run_kcore_bitset),
+        ("bicore", run_bicore_set, run_bicore_bitset),
+        ("coloring_ub", run_coloring_set, run_coloring_bitset),
+    ]
+
+
+def _time_best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def collect_micro() -> list[dict]:
+    """Per-kernel set vs bitset timings (best of three)."""
+    rows = []
+    for name, set_fn, bitset_fn in _micro_workloads():
+        set_seconds = _time_best_of(set_fn)
+        bitset_seconds = _time_best_of(bitset_fn)
+        rows.append({
+            "kernel": name,
+            "set_seconds": round(set_seconds, 6),
+            "bitset_seconds": round(bitset_seconds, 6),
+            "speedup": round(set_seconds / bitset_seconds, 2),
+        })
+    return rows
+
+
+def collect_end_to_end() -> dict:
+    """``mbc_star`` wall-clock per dataset, both engines."""
+    datasets = []
+    total_set = 0.0
+    total_bitset = 0.0
+    for name in ALL_DATASETS:
+        graph = bench_graph(name)
+        set_clique, set_seconds = timed(
+            lambda: mbc_star(graph, DEFAULT_TAU, engine="set"))
+        bitset_clique, bitset_seconds = timed(
+            lambda: mbc_star(graph, DEFAULT_TAU, engine="bitset"))
+        assert set_clique.size == bitset_clique.size, (
+            f"engines disagree on {name}: "
+            f"{set_clique.size} != {bitset_clique.size}")
+        total_set += set_seconds
+        total_bitset += bitset_seconds
+        datasets.append({
+            "dataset": name,
+            "size": set_clique.size,
+            "set_seconds": round(set_seconds, 4),
+            "bitset_seconds": round(bitset_seconds, 4),
+            "speedup": round(set_seconds / bitset_seconds, 2),
+        })
+    return {
+        "tau": DEFAULT_TAU,
+        "datasets": datasets,
+        "total_set_seconds": round(total_set, 4),
+        "total_bitset_seconds": round(total_bitset, 4),
+        "total_speedup": round(total_set / total_bitset, 2),
+    }
+
+
+@pytest.mark.parametrize(
+    "kernel", ["intersection", "k_core", "bicore", "coloring_ub"])
+@pytest.mark.parametrize("engine", ["set", "bitset"])
+def test_kernel_micro(benchmark, kernel, engine):
+    workloads = {name: (s, b) for name, s, b in _micro_workloads()}
+    set_fn, bitset_fn = workloads[kernel]
+    run_once(benchmark, set_fn if engine == "set" else bitset_fn)
+
+
+@pytest.mark.parametrize("engine", ["set", "bitset"])
+def test_mbc_star_end_to_end(benchmark, engine):
+    graph = bench_graph(MICRO_DATASET)
+    clique = run_once(
+        benchmark, lambda: mbc_star(graph, DEFAULT_TAU, engine=engine))
+    assert clique.is_empty or clique.satisfies(DEFAULT_TAU)
+
+
+def main() -> None:
+    micro = collect_micro()
+    end_to_end = collect_end_to_end()
+    print_table(
+        f"Kernel microbench — {MICRO_NETWORKS} largest ego networks "
+        f"of {MICRO_DATASET}",
+        ["kernel", "set", "bitset", "speedup"],
+        [[row["kernel"],
+          format_seconds(row["set_seconds"]),
+          format_seconds(row["bitset_seconds"]),
+          f"{row['speedup']:.1f}x"] for row in micro])
+    print_table(
+        f"MBC* end-to-end (tau={DEFAULT_TAU}), set vs bitset engine",
+        ["dataset", "set", "bitset", "speedup", "size"],
+        [[row["dataset"],
+          format_seconds(row["set_seconds"]),
+          format_seconds(row["bitset_seconds"]),
+          f"{row['speedup']:.1f}x",
+          row["size"]] for row in end_to_end["datasets"]])
+    print(
+        f"\nTOTAL set={format_seconds(end_to_end['total_set_seconds'])} "
+        f"bitset={format_seconds(end_to_end['total_bitset_seconds'])} "
+        f"speedup={end_to_end['total_speedup']:.2f}x")
+    if "--no-json" not in sys.argv:
+        payload = {
+            "micro_dataset": MICRO_DATASET,
+            "micro_networks": MICRO_NETWORKS,
+            "micro": micro,
+            "end_to_end": end_to_end,
+        }
+        out = Path(__file__).resolve().parent.parent / \
+            "BENCH_kernels.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,10 +25,18 @@ from .core.mbc_star import mbc_star
 from .core.pf import pf_binary_search, pf_enumeration, pf_star
 from .core.stats import SearchStats
 from .datasets.registry import dataset_names, load
+from .kernels import DEFAULT_ENGINE, ENGINES
 from .signed.graph import SignedGraph
 from .signed.io import load_signed_graph, save_signed_graph
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
+        help="adjacency engine: bitset kernels (default) or the "
+             "original adjacency sets")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,18 +54,21 @@ def build_parser() -> argparse.ArgumentParser:
     mbc.add_argument(
         "--algorithm", choices=["star", "baseline"], default="star",
         help="solver: MBC* (default) or the enumeration baseline")
+    _add_engine_flag(mbc)
 
     pf = sub.add_parser("pf", help="polarization factor")
     pf.add_argument("graph", help="edge-list path or dataset:NAME")
     pf.add_argument(
         "--algorithm", choices=["star", "binary-search", "enumeration"],
         default="star", help="solver (default PF*)")
+    _add_engine_flag(pf)
 
     gmbc = sub.add_parser(
         "gmbc", help="maximum balanced clique for every tau")
     gmbc.add_argument("graph", help="edge-list path or dataset:NAME")
     gmbc.add_argument(
         "--algorithm", choices=["star", "naive"], default="star")
+    _add_engine_flag(gmbc)
 
     stats = sub.add_parser("stats", help="dataset statistics (Table I)")
     stats.add_argument("graph", help="edge-list path or dataset:NAME")
@@ -94,16 +105,19 @@ def _cmd_mbc(args: argparse.Namespace) -> int:
     stats = SearchStats()
     started = time.perf_counter()
     if args.algorithm == "star":
-        clique = mbc_star(graph, args.tau, stats=stats)
+        clique = mbc_star(graph, args.tau, stats=stats,
+                          engine=args.engine)
+        engine = args.engine
     else:
         clique = mbc_baseline(graph, args.tau, stats=stats)
+        engine = "set"  # the baseline has no bitset path
     elapsed = time.perf_counter() - started
     if clique.is_empty:
         print(f"no balanced clique satisfies tau={args.tau}")
     else:
         print(clique.describe(graph))
     print(f"time: {elapsed:.3f}s  nodes: {stats.nodes}  "
-          f"instances: {stats.instances}")
+          f"instances: {stats.instances}  engine: {engine}")
     return 0
 
 
@@ -111,14 +125,17 @@ def _cmd_pf(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     started = time.perf_counter()
     if args.algorithm == "star":
-        beta = pf_star(graph)
+        beta = pf_star(graph, engine=args.engine)
+        engine = args.engine
     elif args.algorithm == "binary-search":
-        beta = pf_binary_search(graph)
+        beta = pf_binary_search(graph, engine=args.engine)
+        engine = args.engine
     else:
         beta = pf_enumeration(graph)
+        engine = "set"  # enumeration has no bitset path
     elapsed = time.perf_counter() - started
     print(f"polarization factor beta(G) = {beta}")
-    print(f"time: {elapsed:.3f}s")
+    print(f"time: {elapsed:.3f}s  engine: {engine}")
     return 0
 
 
@@ -126,15 +143,16 @@ def _cmd_gmbc(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     started = time.perf_counter()
     if args.algorithm == "star":
-        results = gmbc_star(graph)
+        results = gmbc_star(graph, engine=args.engine)
     else:
-        results = gmbc_naive(graph)
+        results = gmbc_naive(graph, engine=args.engine)
     elapsed = time.perf_counter() - started
     for tau, clique in enumerate(results):
         print(f"tau={tau:3d}  {clique.describe(graph)}")
     profile = distinct_cliques_profile(results)
     print(f"distinct cliques: {profile['distinct']}  "
-          f"beta: {profile['beta']}  time: {elapsed:.3f}s")
+          f"beta: {profile['beta']}  time: {elapsed:.3f}s  "
+          f"engine: {args.engine}")
     return 0
 
 

@@ -3,9 +3,9 @@
 from .balance import is_balanced_clique, is_clique, split_sides
 from .result import EMPTY_RESULT, BalancedClique
 from .stats import SearchStats
-from .reductions import edge_reduction, polar_core_numbers, \
-    polar_core_vertices, polarization_order, polarization_upper_bound, \
-    vertex_reduction
+from .reductions import edge_reduction, edge_reduction_fast, \
+    polar_core_numbers, polar_core_vertices, polarization_order, \
+    polarization_upper_bound, vertex_reduction
 from .heuristic import mbc_heuristic
 from .mbc_baseline import enumerate_maximal_balanced_cliques, mbc_baseline
 from .mbc_adv import mbc_adv
@@ -27,6 +27,7 @@ __all__ = [
     "split_sides",
     "vertex_reduction",
     "edge_reduction",
+    "edge_reduction_fast",
     "polar_core_numbers",
     "polar_core_vertices",
     "polarization_order",

@@ -29,6 +29,7 @@ __all__ = ["gmbc_naive", "gmbc_star", "distinct_cliques_profile"]
 def gmbc_naive(
     graph: SignedGraph,
     stats: SearchStats | None = None,
+    engine: str = "bitset",
 ) -> list[BalancedClique]:
     """gMBC: maxima for all ``tau``, each computed from scratch.
 
@@ -38,7 +39,7 @@ def gmbc_naive(
     results: list[BalancedClique] = []
     tau = 0
     while True:
-        clique = mbc_star(graph, tau, stats=stats)
+        clique = mbc_star(graph, tau, stats=stats, engine=engine)
         if clique.is_empty or not clique.satisfies(tau):
             break
         results.append(clique)
@@ -49,6 +50,7 @@ def gmbc_naive(
 def gmbc_star(
     graph: SignedGraph,
     stats: SearchStats | None = None,
+    engine: str = "bitset",
 ) -> list[BalancedClique]:
     """gMBC* (Algorithm 6): shared-computation downward sweep.
 
@@ -56,11 +58,12 @@ def gmbc_star(
     """
     if graph.num_vertices == 0:
         return []
-    beta = pf_star(graph, stats=stats)
+    beta = pf_star(graph, stats=stats, engine=engine)
     results: list[BalancedClique] = []
     previous: BalancedClique | None = None
     for tau in range(beta, -1, -1):
-        clique = mbc_star(graph, tau, initial=previous, stats=stats)
+        clique = mbc_star(
+            graph, tau, initial=previous, stats=stats, engine=engine)
         if clique.is_empty:
             # Cannot happen for tau <= beta(G) by definition; guard for
             # robustness against a caller-mangled graph.

@@ -13,7 +13,9 @@ Runs in ``O(m)``; the result (when it meets the polarization constraint
 
 from __future__ import annotations
 
-from ..dichromatic.build import build_dichromatic_network
+from ..dichromatic.build import build_dichromatic_network, \
+    build_dichromatic_network_bits
+from ..kernels import validate_engine
 from ..signed.graph import SignedGraph
 from .result import EMPTY_RESULT, BalancedClique
 
@@ -25,6 +27,7 @@ def mbc_heuristic(
     tau: int,
     anchor: int | None = None,
     tries: int = 8,
+    engine: str = "bitset",
 ) -> BalancedClique:
     """Greedy balanced clique satisfying ``tau``, or the empty result.
 
@@ -43,21 +46,71 @@ def mbc_heuristic(
         given (the paper's implementation note uses the single best
         anchor; trying a handful costs ``O(tries * m)`` and makes the
         initial bound far more robust).
+    engine:
+        ``"bitset"`` (default) grows the clique over mask adjacency;
+        ``"set"`` is the original implementation.  Tie-breaking while
+        picking the max-degree vertex may differ between the two, so
+        the greedy results can legitimately diverge — both are valid
+        lower bounds for the exact search they seed.
     """
+    validate_engine(engine)
+    grow = _grow_from_bits if engine == "bitset" else _grow_from
     if graph.num_vertices == 0:
         return EMPTY_RESULT
     if anchor is not None:
-        return _grow_from(graph, anchor, tau)
+        return grow(graph, anchor, tau)
     ranked = sorted(
         graph.vertices(),
         key=lambda v: min(graph.pos_degree(v), graph.neg_degree(v)),
         reverse=True)
     best = EMPTY_RESULT
     for candidate in ranked[:max(tries, 1)]:
-        clique = _grow_from(graph, candidate, tau)
+        clique = grow(graph, candidate, tau)
         if clique.size > best.size:
             best = clique
     return best
+
+
+def _grow_from_bits(
+    graph: SignedGraph, anchor: int, tau: int
+) -> BalancedClique:
+    """Bitset fast path of :func:`_grow_from`."""
+    network = build_dichromatic_network_bits(graph, anchor)
+    adj = network.adjacency_bits()
+    left_bits = network.left_bits()
+    active = network.all_bits()
+    origin = network.origin
+    left: set[int] = {anchor}
+    right: set[int] = set()
+
+    while active:
+        left_pool = active & left_bits
+        right_pool = active & ~left_bits
+        take_right = not left_pool or (right_pool and
+                                       len(left) >= len(right))
+        pool = right_pool if take_right else left_pool
+        best_v = -1
+        best_degree = -1
+        rest = pool
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            v = low.bit_length() - 1
+            degree = (adj[v] & active).bit_count()
+            if degree > best_degree:
+                best_degree = degree
+                best_v = v
+        v = best_v
+        if left_bits & (1 << v):
+            left.add(origin[v])
+        else:
+            right.add(origin[v])
+        active &= adj[v]
+
+    clique = BalancedClique.from_sides(left, right)
+    if clique.satisfies(tau):
+        return clique
+    return EMPTY_RESULT
 
 
 def _grow_from(

@@ -21,16 +21,26 @@ lets gMBC* seed the search with ``(2 tau - 1)``-cores.
 from __future__ import annotations
 
 from ..dichromatic.build import build_dichromatic_network, \
-    ego_network_edge_count
+    build_dichromatic_network_bits, ego_network_edge_count, \
+    ego_network_edge_count_bits
 from ..dichromatic.cores import k_core_active
 from ..dichromatic.mdc import solve_mdc
+from ..kernels import validate_engine
+from ..kernels.active import (
+    active_edge_count_mask,
+    coloring_upper_bound_active_mask,
+    degeneracy_ordering_mask,
+    k_core_active_mask,
+)
+from ..kernels.bitset import iter_bits
 from ..signed.graph import SignedGraph
 from ..unsigned.coloring import coloring_upper_bound
 from ..unsigned.cores import k_core_subset
 from ..unsigned.graph import UnsignedGraph
 from ..unsigned.ordering import degeneracy_ordering
 from .heuristic import mbc_heuristic
-from .reductions import edge_reduction, vertex_reduction
+from .reductions import edge_reduction, edge_reduction_fast, \
+    vertex_reduction
 from .result import EMPTY_RESULT, BalancedClique
 from .stats import SearchStats
 
@@ -59,6 +69,7 @@ def mbc_star(
     ordering: str = "degeneracy",
     use_coloring: bool = True,
     use_core: bool = True,
+    engine: str = "bitset",
 ) -> BalancedClique:
     """Maximum balanced clique satisfying the polarization constraint.
 
@@ -88,6 +99,11 @@ def mbc_star(
     use_coloring, use_core:
         Ablation switches for the colouring-bound and core-reduction
         pruning (both on by default, as in the paper).
+    engine:
+        ``"bitset"`` (default) runs the per-instance kernels and the
+        MDC search on int-mask adjacency (see :mod:`repro.kernels`);
+        ``"set"`` is the original adjacency-set path, retained for
+        differential testing and the ablation benchmarks.
 
     Returns
     -------
@@ -99,6 +115,7 @@ def mbc_star(
         raise ValueError(f"tau must be non-negative, got {tau}")
     if ordering not in ("degeneracy", "degree", "id"):
         raise ValueError(f"unknown ordering {ordering!r}")
+    validate_engine(engine)
     best = initial if initial is not None else EMPTY_RESULT
     if not best.is_empty and not best.satisfies(tau):
         raise ValueError("initial clique violates the tau constraint")
@@ -107,14 +124,16 @@ def mbc_star(
     alive = vertex_reduction(graph, tau)
     working, mapping = graph.subgraph(alive)
     if use_edge_reduction:
-        working = edge_reduction(working, tau)
+        reducer = edge_reduction_fast if engine == "bitset" \
+            else edge_reduction
+        working = reducer(working, tau)
         alive2 = vertex_reduction(working, tau)
         if len(alive2) < working.num_vertices:
             working, mapping2 = working.subgraph(alive2)
             mapping = [mapping[idx] for idx in mapping2]
 
     # Line 2: heuristic initial solution.
-    heuristic = mbc_heuristic(working, tau)
+    heuristic = mbc_heuristic(working, tau, engine=engine)
     if stats is not None:
         stats.heuristic_size = heuristic.size
     if heuristic.size > best.size:
@@ -128,57 +147,121 @@ def mbc_star(
     # the minimum acceptable clique size: beat the incumbent and leave
     # room for tau vertices per side.
     required = max(best.size + 1, 2 * tau)
-    unsigned = UnsignedGraph.from_signed(working)
-    core_alive = k_core_subset(unsigned, required - 1, unsigned.vertices())
-    if not core_alive:
-        return best
+    if engine == "bitset":
+        unsigned = UnsignedGraph.from_signed_bits(working)
+        core_mask = k_core_active_mask(
+            unsigned.adjacency_bits(), required - 1, unsigned.all_bits())
+        if not core_mask:
+            return best
+        core_alive: set[int] | None = None
+    else:
+        unsigned = UnsignedGraph.from_signed(working)
+        core_alive = k_core_subset(
+            unsigned, required - 1, unsigned.vertices())
+        if not core_alive:
+            return best
 
     # Line 4: vertex ordering (degeneracy by default; ego-networks of
     # higher-ranked neighbours then have at most degeneracy(G) many
     # vertices).
     if ordering == "degeneracy":
-        full_order = degeneracy_ordering(unsigned)
-    elif ordering == "degree":
-        full_order = sorted(unsigned.vertices(), key=unsigned.degree)
+        if engine == "bitset":
+            # Ordering the core-induced subgraph suffices: every clique
+            # able to beat the incumbent lies inside the |C*|-core, and
+            # the sweep only ever ranks core vertices.
+            order = degeneracy_ordering_mask(
+                unsigned.adjacency_bits(), core_mask)
+        else:
+            full_order = degeneracy_ordering(unsigned)
+            order = [v for v in full_order if v in core_alive]
     else:
-        full_order = list(unsigned.vertices())
-    order = [v for v in full_order if v in core_alive]
+        if core_alive is None:
+            core_alive = set(iter_bits(core_mask))
+        if ordering == "degree":
+            order = sorted(core_alive, key=unsigned.degree)
+        else:
+            order = sorted(core_alive)
     rank = {v: position for position, v in enumerate(order)}
 
-    # Line 5: process vertices in reverse degeneracy order.
+    # Line 5: process vertices in reverse degeneracy order.  The bitset
+    # engine carries the "higher-ranked" filter as a mask accumulated
+    # over already-processed vertices (exactly the vertices ranked above
+    # the current one).
+    allowed_mask = 0
     for u in reversed(order):
         required = max(best.size + 1, 2 * tau)
-        allowed = _HigherRanked(rank, rank[u])
+        this_allowed_mask = allowed_mask
+        allowed_mask |= 1 << u
         if stats is not None:
             stats.vertices_examined += 1
-        network = build_dichromatic_network(working, u, allowed)
-        if network.num_vertices + 1 < required:
-            continue
         # Line 7: |C*|-core of g_u (k shifted by one: u is excluded).
-        active = set(network.vertices())
-        if use_core:
-            active = k_core_active(network, required - 2, active)
-        if len(active) + 1 < required:
-            continue
-        # Line 8: colouring-based pruning of the whole instance.
-        if use_coloring:
-            bound = _color_bound(network, active)
-            if bound < required - 1:
+        # Line 8: colouring-based pruning of the whole instance.  Both
+        # run on the engine's native representation; the bitset path
+        # builds the network straight from global adjacency masks and
+        # hands the surviving mask to solve_mdc.
+        if engine == "bitset":
+            network = build_dichromatic_network_bits(
+                working, u, this_allowed_mask)
+            if network.num_vertices + 1 < required:
                 continue
-        if stats is not None:
-            stats.instances += 1
-            ego_edges = ego_network_edge_count(working, u, allowed)
-            reduced_edges = _active_edge_count(network, active)
-            stats.record_reduction(
-                ego_edges, network.num_edges, reduced_edges)
-        found = solve_mdc(
-            network, tau - 1, tau,
-            must_exceed=required - 2,
-            stats=stats,
-            check_only=check_only,
-            active=active,
-            use_coloring=use_coloring,
-            use_core=use_core)
+            adj_bits = network.adjacency_bits()
+            active_mask = network.all_bits()
+            if use_core:
+                active_mask = k_core_active_mask(
+                    adj_bits, required - 2, active_mask)
+            if active_mask.bit_count() + 1 < required:
+                continue
+            if use_coloring:
+                bound = coloring_upper_bound_active_mask(
+                    adj_bits, active_mask)
+                if bound < required - 1:
+                    continue
+            if stats is not None:
+                stats.instances += 1
+                ego_edges = ego_network_edge_count_bits(
+                    working, u, this_allowed_mask)
+                reduced_edges = active_edge_count_mask(
+                    adj_bits, active_mask)
+                stats.record_reduction(
+                    ego_edges, network.num_edges, reduced_edges)
+            found = solve_mdc(
+                network, tau - 1, tau,
+                must_exceed=required - 2,
+                stats=stats,
+                check_only=check_only,
+                use_coloring=use_coloring,
+                use_core=use_core,
+                engine=engine,
+                active_mask=active_mask)
+        else:
+            allowed = _HigherRanked(rank, rank[u])
+            network = build_dichromatic_network(working, u, allowed)
+            if network.num_vertices + 1 < required:
+                continue
+            active = set(network.vertices())
+            if use_core:
+                active = k_core_active(network, required - 2, active)
+            if len(active) + 1 < required:
+                continue
+            if use_coloring:
+                bound = _color_bound(network, active)
+                if bound < required - 1:
+                    continue
+            if stats is not None:
+                stats.instances += 1
+                ego_edges = ego_network_edge_count(working, u, allowed)
+                reduced_edges = _active_edge_count(network, active)
+                stats.record_reduction(
+                    ego_edges, network.num_edges, reduced_edges)
+            found = solve_mdc(
+                network, tau - 1, tau,
+                must_exceed=required - 2,
+                stats=stats,
+                check_only=check_only,
+                active=active,
+                use_coloring=use_coloring,
+                use_core=use_core,
+                engine=engine)
         if found is None:
             continue
         left = {mapping[u]}

@@ -20,9 +20,13 @@ paper's experimental line-up:
 from __future__ import annotations
 
 from ..dichromatic.build import build_dichromatic_network, \
-    ego_network_edge_count
+    build_dichromatic_network_bits, ego_network_edge_count, \
+    ego_network_edge_count_bits
 from ..dichromatic.cores import bicore_active
 from ..dichromatic.dcc import dichromatic_clique_witness
+from ..kernels import validate_engine
+from ..kernels.active import active_edge_count_mask, bicore_active_mask, \
+    degeneracy_ordering_mask
 from ..signed.graph import SignedGraph
 from ..unsigned.graph import UnsignedGraph
 from ..unsigned.ordering import degeneracy_ordering
@@ -96,6 +100,7 @@ def pf_enumeration(
 def pf_binary_search(
     graph: SignedGraph,
     stats: SearchStats | None = None,
+    engine: str = "bitset",
 ) -> int:
     """PF-BS: binary search on ``tau``, feasibility via MBC*.
 
@@ -106,7 +111,8 @@ def pf_binary_search(
     high = polarization_upper_bound(graph)
     while low < high:
         mid = (low + high + 1) // 2
-        witness = mbc_star(graph, mid, check_only=True, stats=stats)
+        witness = mbc_star(
+            graph, mid, check_only=True, stats=stats, engine=engine)
         if witness.satisfies(mid) and not witness.is_empty:
             low = mid
         else:
@@ -119,6 +125,7 @@ def pf_star(
     stats: SearchStats | None = None,
     ordering: str = "polarization",
     return_witness: bool = False,
+    engine: str = "bitset",
 ) -> "int | tuple[int, BalancedClique]":
     """PF* (Algorithm 4): the dichromatic-clique-checking algorithm.
 
@@ -131,6 +138,10 @@ def pf_star(
         break: once ``pn(u) <= tau*``, no later vertex can improve.
     return_witness:
         Also return a balanced clique achieving the factor.
+    engine:
+        ``"bitset"`` (default) runs the per-vertex bicore reduction and
+        DCC check on int-mask adjacency; ``"set"`` is the original
+        adjacency-set path.
 
     Returns
     -------
@@ -140,9 +151,10 @@ def pf_star(
     """
     if ordering not in ("polarization", "degeneracy"):
         raise ValueError(f"unknown ordering {ordering!r}")
+    validate_engine(engine)
 
     # Line 1: heuristic lower bound.
-    heuristic = mbc_heuristic(graph, 0)
+    heuristic = mbc_heuristic(graph, 0, engine=engine)
     tau_star = heuristic.polarization
     witness = heuristic
     if stats is not None:
@@ -155,38 +167,73 @@ def pf_star(
     # Line 3: total ordering.
     if ordering == "polarization":
         order, pn = polar_core_numbers(working)
+    elif engine == "bitset":
+        unsigned = UnsignedGraph.from_signed_bits(working)
+        order = degeneracy_ordering_mask(
+            unsigned.adjacency_bits(), unsigned.all_bits())
+        pn = None
     else:
         order = degeneracy_ordering(UnsignedGraph.from_signed(working))
         pn = None
     rank = {v: position for position, v in enumerate(order)}
 
-    # Lines 4-8: reverse-order sweep with DCC checks.
+    # Lines 4-8: reverse-order sweep with DCC checks.  As in MBC*, the
+    # bitset engine accumulates the higher-ranked filter as a mask of
+    # already-processed vertices.
+    allowed_mask = 0
     for u in reversed(order):
         if pn is not None and pn[u] <= tau_star:
             break  # Lemma 5: pn(u) >= gamma(g_u); nothing later helps.
+        this_allowed_mask = allowed_mask
+        allowed_mask |= 1 << u
         if stats is not None:
             stats.vertices_examined += 1
-        allowed = _HigherRanked(rank, rank[u])
-        network = build_dichromatic_network(working, u, allowed)
+        if engine == "bitset":
+            network = build_dichromatic_network_bits(
+                working, u, this_allowed_mask)
+        else:
+            allowed = _HigherRanked(rank, rank[u])
+            network = build_dichromatic_network(working, u, allowed)
         # Line 6: (tau*+1, tau*+1)-core of g_u; thresholds shifted
         # because u (an L-vertex adjacent to everyone) is excluded.
-        active = bicore_active(
-            network, tau_star, tau_star + 1, set(network.vertices()))
-        left_count = sum(1 for v in active if network.is_left[v])
-        right_count = len(active) - left_count
+        if engine == "bitset":
+            adj_bits = network.adjacency_bits()
+            left_bits = network.left_bits()
+            active_mask = bicore_active_mask(
+                adj_bits, left_bits, tau_star, tau_star + 1,
+                network.all_bits())
+            left_count = (active_mask & left_bits).bit_count()
+            right_count = active_mask.bit_count() - left_count
+        else:
+            active = bicore_active(
+                network, tau_star, tau_star + 1, set(network.vertices()))
+            left_count = sum(1 for v in active if network.is_left[v])
+            right_count = len(active) - left_count
         # Line 7: u must itself survive in the core.
         if left_count < tau_star or right_count < tau_star + 1:
             continue
         if stats is not None:
             stats.instances += 1
-            ego_edges = ego_network_edge_count(working, u, allowed)
-            reduced = sum(
-                len(network.neighbors(v) & active) for v in active) // 2
+            if engine == "bitset":
+                ego_edges = ego_network_edge_count_bits(
+                    working, u, this_allowed_mask)
+                reduced = active_edge_count_mask(adj_bits, active_mask)
+            else:
+                ego_edges = ego_network_edge_count(working, u, allowed)
+                reduced = sum(
+                    len(network.neighbors(v) & active)
+                    for v in active) // 2
             stats.record_reduction(
                 ego_edges, network.num_edges, reduced)
         # Line 8: one +1 feasibility question per vertex (Lemma 4).
-        found = dichromatic_clique_witness(
-            network, tau_star, tau_star + 1, stats=stats, active=active)
+        if engine == "bitset":
+            found = dichromatic_clique_witness(
+                network, tau_star, tau_star + 1, stats=stats,
+                engine=engine, active_mask=active_mask)
+        else:
+            found = dichromatic_clique_witness(
+                network, tau_star, tau_star + 1, stats=stats,
+                active=active, engine=engine)
         if found is not None:
             tau_star += 1
             left = {mapping[u]}

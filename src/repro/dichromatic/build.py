@@ -33,10 +33,16 @@ from __future__ import annotations
 
 from typing import Container
 
+from ..kernels.bitset import bits_of
 from ..signed.graph import SignedGraph
 from .graph import DichromaticGraph
 
-__all__ = ["build_dichromatic_network", "ego_network_edge_count"]
+__all__ = [
+    "build_dichromatic_network",
+    "build_dichromatic_network_bits",
+    "ego_network_edge_count",
+    "ego_network_edge_count_bits",
+]
 
 
 def build_dichromatic_network(
@@ -93,6 +99,67 @@ def build_dichromatic_network(
     return network
 
 
+def build_dichromatic_network_bits(
+    graph: SignedGraph,
+    u: int,
+    allowed_mask: int | None = None,
+) -> DichromaticGraph:
+    """Bitset fast path of :func:`build_dichromatic_network`.
+
+    Works entirely on the signed graph's cached global adjacency
+    bitmasks: the sign/side filtering that the set builder performs with
+    one dict probe per *candidate* edge collapses into two ``&`` ops per
+    member, and only the retained edges are translated into local ids.
+    The returned network is mask-backed
+    (:meth:`DichromaticGraph.from_masks`) so the kernels reuse the masks
+    without a rebuild.
+
+    ``allowed_mask`` is the bitmask analogue of the set builder's
+    ``allowed`` container (MBC*/PF* pass the higher-ranked vertex set).
+    """
+    pos_bits = graph.pos_adjacency_bits()
+    neg_bits = graph.neg_adjacency_bits()
+    pos_u = pos_bits[u]
+    neg_u = neg_bits[u]
+    if allowed_mask is not None:
+        pos_u &= allowed_mask
+        neg_u &= allowed_mask
+    left = bits_of(pos_u)
+    right = bits_of(neg_u)
+    origin = left + right
+    is_left = [True] * len(left) + [False] * len(right)
+    local = {orig: idx for idx, orig in enumerate(origin)}
+    boundary = len(left)
+
+    # Positive edges survive towards same-side vertices, negative edges
+    # towards opposite-side vertices.  Each retained edge is translated
+    # exactly once: same-side pairs from their lower-global-id endpoint
+    # (the remainder after the ``>> (orig + 1)`` shift), cross pairs
+    # from their L endpoint.
+    adjacency = [0] * len(origin)
+    for idx, orig in enumerate(origin):
+        bit = 1 << idx
+        if idx < boundary:
+            same_hi = (pos_bits[orig] & pos_u) >> (orig + 1)
+            cross = neg_bits[orig] & neg_u
+        else:
+            same_hi = (pos_bits[orig] & neg_u) >> (orig + 1)
+            cross = 0
+        while same_hi:
+            low = same_hi & -same_hi
+            same_hi ^= low
+            jdx = local[low.bit_length() + orig]
+            adjacency[idx] |= 1 << jdx
+            adjacency[jdx] |= bit
+        while cross:
+            low = cross & -cross
+            cross ^= low
+            jdx = local[low.bit_length() - 1]
+            adjacency[idx] |= 1 << jdx
+            adjacency[jdx] |= bit
+    return DichromaticGraph.from_masks(is_left, origin, adjacency)
+
+
 def ego_network_edge_count(
     graph: SignedGraph,
     u: int,
@@ -113,4 +180,25 @@ def ego_network_edge_count(
     for v in members:
         count += sum(1 for w in graph.pos_neighbors(v) if w in members)
         count += sum(1 for w in graph.neg_neighbors(v) if w in members)
+    return count // 2
+
+
+def ego_network_edge_count_bits(
+    graph: SignedGraph,
+    u: int,
+    allowed_mask: int | None = None,
+) -> int:
+    """Bitset fast path of :func:`ego_network_edge_count`."""
+    pos_bits = graph.pos_adjacency_bits()
+    neg_bits = graph.neg_adjacency_bits()
+    members = pos_bits[u] | neg_bits[u]
+    if allowed_mask is not None:
+        members &= allowed_mask
+    count = 0
+    rest = members
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        count += ((pos_bits[v] | neg_bits[v]) & members).bit_count()
     return count // 2

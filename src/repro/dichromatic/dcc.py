@@ -6,12 +6,21 @@ R-vertices.  Unlike MDC it does not look for the maximum — it stops the
 moment both quotas reach zero — and it prunes with the
 ``(tau_L, tau_R)``-core rather than colouring bounds, exactly as in the
 pseudocode.
+
+Like MDC, the check runs on one of two engines: ``"bitset"`` (default)
+carries the candidate set as an int mask over the kernels of
+:mod:`repro.kernels.active` with incrementally maintained degrees, and
+``"set"`` is the original adjacency-set implementation retained for
+differential testing.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..kernels import validate_engine
+from ..kernels.active import bicore_active_mask
+from ..kernels.bitset import mask_of
 from .cores import bicore_active
 from .graph import DichromaticGraph
 
@@ -27,17 +36,18 @@ def dichromatic_clique_check(
     tau_r: int,
     stats: "SearchStats | None" = None,
     active: set[int] | None = None,
+    engine: str = "bitset",
+    active_mask: int | None = None,
 ) -> bool:
     """True iff ``graph`` has a dichromatic clique meeting the quotas.
 
     ``active`` optionally restricts the search to a vertex subset
-    (callers pass an already-core-reduced set).
+    (callers pass an already-core-reduced set); the bitset engine also
+    accepts it pre-packed as ``active_mask``.
     """
-    if active is None:
-        active = set(graph.vertices())
-    else:
-        active = set(active)
-    return _check(graph, active, tau_l, tau_r, stats, None)
+    return dichromatic_clique_witness(
+        graph, tau_l, tau_r, stats=stats, active=active,
+        engine=engine, active_mask=active_mask) is not None
 
 
 def dichromatic_clique_witness(
@@ -46,17 +56,102 @@ def dichromatic_clique_witness(
     tau_r: int,
     stats: "SearchStats | None" = None,
     active: set[int] | None = None,
+    engine: str = "bitset",
+    active_mask: int | None = None,
 ) -> set[int] | None:
     """Like :func:`dichromatic_clique_check` but returns the witness
     clique (local vertex ids), or ``None`` when infeasible."""
-    if active is None:
-        active = set(graph.vertices())
-    else:
-        active = set(active)
+    validate_engine(engine)
     witness: list[int] = []
-    if _check(graph, active, tau_l, tau_r, stats, witness):
+    if engine == "set":
+        if active is None:
+            active = set(graph.vertices())
+        else:
+            active = set(active)
+        if _check(graph, active, tau_l, tau_r, stats, witness):
+            return set(witness)
+        return None
+    if active_mask is None:
+        if active is None:
+            active_mask = graph.all_bits()
+        else:
+            active_mask = mask_of(active)
+    if _check_bits(
+            graph.adjacency_bits(), graph.left_bits(), graph.num_vertices,
+            active_mask, tau_l, tau_r, stats, witness):
         return set(witness)
     return None
+
+
+def _check_bits(
+    adj: list[int],
+    left_mask: int,
+    num_vertices: int,
+    active: int,
+    tau_l: int,
+    tau_r: int,
+    stats: "SearchStats | None",
+    witness: list[int],
+) -> bool:
+    if stats is not None:
+        stats.nodes += 1
+    if tau_l == 0 and tau_r == 0:
+        return True
+    active = bicore_active_mask(adj, left_mask, tau_l, tau_r, active)
+    left = active & left_mask
+    left_count = left.bit_count()
+    active_count = active.bit_count()
+    # Feasibility guard (implicit in the pseudocode's empty loop): each
+    # side must still be able to cover its quota.
+    if left_count < tau_l or active_count - left_count < tau_r:
+        return False
+
+    if tau_l > 0 and tau_r == 0:
+        pool = left
+    elif tau_l == 0 and tau_r > 0:
+        pool = active & ~left
+    else:
+        pool = active
+
+    degree = [0] * num_vertices
+    rest = active
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        degree[v] = (adj[v] & active).bit_count()
+
+    while pool:
+        best_v = -1
+        best_d = active_count
+        rest = pool
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            u = low.bit_length() - 1
+            if degree[u] < best_d:
+                best_d = degree[u]
+                best_v = u
+        v = best_v
+        bit = 1 << v
+        if left_mask & bit:
+            next_l, next_r = tau_l - 1, tau_r
+        else:
+            next_l, next_r = tau_l, tau_r - 1
+        witness.append(v)
+        if _check_bits(adj, left_mask, num_vertices, adj[v] & active,
+                       next_l, next_r, stats, witness):
+            return True
+        witness.pop()
+        pool &= ~bit
+        active &= ~bit
+        active_count -= 1
+        rest = adj[v] & active
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            degree[low.bit_length() - 1] -= 1
+    return False
 
 
 def _check(

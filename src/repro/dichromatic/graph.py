@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..kernels.bitset import adjacency_masks, full_mask, iter_bits, \
+    left_side_mask
+
 __all__ = ["DichromaticGraph"]
 
 
@@ -43,7 +46,44 @@ class DichromaticGraph:
                 raise ValueError(
                     f"expected {n} origin entries, got {len(origin)}")
             self.origin = list(origin)
-        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._adj: list[set[int]] | None = [set() for _ in range(n)]
+        self._adj_bits: list[int] | None = None
+        self._left_bits: int | None = None
+
+    @classmethod
+    def from_masks(
+        cls,
+        is_left: Sequence[bool],
+        origin: Sequence[int],
+        adjacency: Sequence[int],
+    ) -> "DichromaticGraph":
+        """Build directly from per-vertex adjacency bitmasks.
+
+        The fast ego-network builder
+        (:func:`repro.dichromatic.build.build_dichromatic_network_bits`)
+        produces masks natively; adjacency *sets* are materialized
+        lazily only if a set-based accessor is used.  ``adjacency`` must
+        be symmetric and self-loop-free — callers own that invariant.
+        """
+        network = cls.__new__(cls)
+        network.is_left = list(is_left)
+        n = len(network.is_left)
+        if len(origin) != n or len(adjacency) != n:
+            raise ValueError(
+                f"expected {n} origin/adjacency entries, got "
+                f"{len(origin)}/{len(adjacency)}")
+        network.origin = list(origin)
+        network._adj = None
+        network._adj_bits = list(adjacency)
+        network._left_bits = None
+        return network
+
+    def _sets(self) -> list[set[int]]:
+        """Adjacency sets, materialized from the masks on first use."""
+        if self._adj is None:
+            self._adj = [
+                set(iter_bits(mask)) for mask in self._adj_bits]
+        return self._adj
 
     @property
     def num_vertices(self) -> int:
@@ -51,6 +91,8 @@ class DichromaticGraph:
 
     @property
     def num_edges(self) -> int:
+        if self._adj_bits is not None:
+            return sum(mask.bit_count() for mask in self._adj_bits) // 2
         return sum(len(adj) for adj in self._adj) // 2
 
     def vertices(self) -> range:
@@ -66,12 +108,16 @@ class DichromaticGraph:
 
     def neighbors(self, v: int) -> set[int]:
         """Live adjacency set of ``v`` — callers must not mutate it."""
-        return self._adj[v]
+        return self._sets()[v]
 
     def degree(self, v: int) -> int:
+        if self._adj_bits is not None:
+            return self._adj_bits[v].bit_count()
         return len(self._adj[v])
 
     def has_edge(self, u: int, v: int) -> bool:
+        if self._adj_bits is not None:
+            return bool(self._adj_bits[u] & (1 << v))
         return v in self._adj[u]
 
     def add_edge(self, u: int, v: int) -> None:
@@ -80,19 +126,46 @@ class DichromaticGraph:
         n = self.num_vertices
         if not (0 <= u < n and 0 <= v < n):
             raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        adj = self._sets()
+        adj[u].add(v)
+        adj[v].add(u)
+        self._adj_bits = None
+
+    # ------------------------------------------------------------------
+    # Bitset adjacency (kernel layer)
+    # ------------------------------------------------------------------
+    def adjacency_bits(self) -> list[int]:
+        """Per-vertex neighbourhood bitmasks, built lazily and cached.
+
+        The cache is invalidated by :meth:`add_edge`; callers must not
+        mutate the returned list or its entries between edits.
+        """
+        if self._adj_bits is None:
+            self._adj_bits = adjacency_masks(self._adj)
+        return self._adj_bits
+
+    def left_bits(self) -> int:
+        """Mask of ``V_L`` (labels are fixed at construction time)."""
+        if self._left_bits is None:
+            self._left_bits = left_side_mask(self.is_left)
+        return self._left_bits
+
+    def all_bits(self) -> int:
+        """Mask of the full vertex set ``0..n-1``."""
+        return full_mask(self.num_vertices)
 
     def edges(self) -> Iterable[tuple[int, int]]:
+        adj = self._sets()
         for u in self.vertices():
-            for v in self._adj[u]:
+            for v in adj[u]:
                 if u < v:
                     yield u, v
 
     def is_clique(self, vertices: Iterable[int]) -> bool:
         members = list(vertices)
+        sets = self._sets()
         for i, u in enumerate(members):
-            adj = self._adj[u]
+            adj = sets[u]
             for v in members[i + 1:]:
                 if v not in adj:
                     return False

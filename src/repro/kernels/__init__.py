@@ -1,0 +1,64 @@
+"""Bitset kernel layer for the branch-and-bound hot path.
+
+``bitset`` packs vertex subsets into arbitrary-precision ints;
+``active`` provides mask variants of the per-node search kernels
+(intersection, degree counting, k-core / bicore peeling, colouring
+bound).  The ``engine="bitset"`` code paths of
+:func:`repro.dichromatic.mdc.solve_mdc`, DCC, MBC*, PF* and gMBC* are
+built entirely on these primitives.
+"""
+
+from .active import (
+    active_edge_count_mask,
+    bicore_active_mask,
+    coloring_upper_bound_active_mask,
+    degeneracy_ordering_mask,
+    degree_in_active,
+    intersect_active,
+    k_core_active_mask,
+)
+from .bitset import (
+    adjacency_masks,
+    bits_of,
+    full_mask,
+    is_subset,
+    iter_bits,
+    left_side_mask,
+    lowest_set_bit,
+    mask_of,
+    popcount,
+)
+
+ENGINES = ("set", "bitset")
+DEFAULT_ENGINE = "bitset"
+
+
+def validate_engine(engine: str) -> str:
+    """Check an ``engine`` switch value, returning it unchanged."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+__all__ = [
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "validate_engine",
+    "active_edge_count_mask",
+    "bicore_active_mask",
+    "coloring_upper_bound_active_mask",
+    "degeneracy_ordering_mask",
+    "degree_in_active",
+    "intersect_active",
+    "k_core_active_mask",
+    "adjacency_masks",
+    "bits_of",
+    "full_mask",
+    "is_subset",
+    "iter_bits",
+    "left_side_mask",
+    "lowest_set_bit",
+    "mask_of",
+    "popcount",
+]

@@ -1,0 +1,246 @@
+"""Bitset variants of the branch-and-bound hot kernels.
+
+These are the four primitives every MDC/DCC node executes — candidate
+intersection, degree-in-active counting, k-core peeling and the greedy
+colouring bound — plus the ``(tau_L, tau_R)``-bicore used by DCC.  Each
+takes the adjacency as ``list[int]`` masks (see
+:mod:`repro.kernels.bitset`) and the active candidate set as one int
+mask, and touches no graph objects at all, so a graph only pays the
+mask-building cost once and every node after that runs on word-parallel
+integer ops.
+
+Semantics mirror the set implementations in
+:mod:`repro.dichromatic.cores` exactly (the differential engine tests
+assert this); only tie-breaking inside the greedy colouring order may
+differ, which affects neither soundness nor the search result.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "intersect_active",
+    "degree_in_active",
+    "k_core_active_mask",
+    "bicore_active_mask",
+    "coloring_upper_bound_active_mask",
+    "active_edge_count_mask",
+    "degeneracy_ordering_mask",
+]
+
+
+def intersect_active(adj: list[int], v: int, active: int) -> int:
+    """Candidate-set intersection ``N(v) ∩ active`` as a mask."""
+    return adj[v] & active
+
+
+def degree_in_active(adj: list[int], v: int, active: int) -> int:
+    """``|N(v) ∩ active|``."""
+    return (adj[v] & active).bit_count()
+
+
+def k_core_active_mask(adj: list[int], k: int, active: int) -> int:
+    """Label-blind ``k``-core of the subgraph induced by ``active``.
+
+    Peels with an explicit stack and incrementally maintained degrees;
+    a vertex is (re-)pushed exactly when its degree first drops below
+    ``k``.  Returns the surviving vertex set as a mask.
+    """
+    if k <= 0 or not active:
+        return active
+    alive = active
+    degree = [0] * len(adj)
+    stack: list[int] = []
+    rest = active
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        d = (adj[v] & active).bit_count()
+        degree[v] = d
+        if d < k:
+            stack.append(v)
+    while stack:
+        v = stack.pop()
+        bit = 1 << v
+        if not (alive & bit):
+            continue
+        alive ^= bit
+        rest = adj[v] & alive
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            u = low.bit_length() - 1
+            du = degree[u] - 1
+            degree[u] = du
+            if du == k - 1:
+                stack.append(u)
+    return alive
+
+
+def bicore_active_mask(
+    adj: list[int],
+    left_mask: int,
+    tau_l: int,
+    tau_r: int,
+    active: int,
+) -> int:
+    """``(tau_L, tau_R)``-core of the subgraph induced by ``active``.
+
+    Mask analogue of :func:`repro.dichromatic.cores.bicore_active`:
+    every surviving L-vertex keeps ``>= tau_L - 1`` L-neighbours and
+    ``>= tau_R`` R-neighbours, every surviving R-vertex ``>= tau_L``
+    L-neighbours and ``>= tau_R - 1`` R-neighbours.  Negative
+    thresholds are treated as zero.
+    """
+    tau_l = max(tau_l, 0)
+    tau_r = max(tau_r, 0)
+    if (tau_l == 0 and tau_r == 0) or not active:
+        return active
+    alive = active
+    left_deg = [0] * len(adj)
+    right_deg = [0] * len(adj)
+
+    def violates(v: int) -> bool:
+        if left_mask & (1 << v):
+            return left_deg[v] < tau_l - 1 or right_deg[v] < tau_r
+        return left_deg[v] < tau_l or right_deg[v] < tau_r - 1
+
+    stack: list[int] = []
+    queued = 0
+    rest = active
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        nb = adj[v] & active
+        l_count = (nb & left_mask).bit_count()
+        left_deg[v] = l_count
+        right_deg[v] = nb.bit_count() - l_count
+        if violates(v):
+            stack.append(v)
+            queued |= low
+    while stack:
+        v = stack.pop()
+        bit = 1 << v
+        if not (alive & bit):
+            continue
+        alive ^= bit
+        v_left = bool(left_mask & bit)
+        rest = adj[v] & alive
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            u = low.bit_length() - 1
+            if v_left:
+                left_deg[u] -= 1
+            else:
+                right_deg[u] -= 1
+            if not (queued & low) and violates(u):
+                stack.append(u)
+                queued |= low
+    return alive
+
+
+def coloring_upper_bound_active_mask(adj: list[int], active: int) -> int:
+    """Greedy-colouring clique bound over ``active`` (``colorUB``).
+
+    Vertices are processed in non-increasing degree-in-active order and
+    each takes the first colour class it does not conflict with; a
+    colour class is itself a mask, so the conflict test is one ``&``.
+    """
+    if not active:
+        return 0
+    order: list[tuple[int, int]] = []
+    rest = active
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        order.append((-(adj[v] & active).bit_count(), v))
+    order.sort()
+    color_masks: list[int] = []
+    for _neg_degree, v in order:
+        neighbors = adj[v]
+        bit = 1 << v
+        for i, members in enumerate(color_masks):
+            if not (neighbors & members):
+                color_masks[i] = members | bit
+                break
+        else:
+            color_masks.append(bit)
+    return len(color_masks)
+
+
+def degeneracy_ordering_mask(adj: list[int], active: int) -> list[int]:
+    """Smallest-first (degeneracy) ordering of ``active``.
+
+    Mask analogue of :func:`repro.unsigned.ordering.degeneracy_ordering`
+    with the same lazy bucket-queue scheme.  Tie-breaking (and hence the
+    exact order) may differ from the set implementation — any valid
+    degeneracy order is acceptable to the callers.
+    """
+    if not active:
+        return []
+    # Extract neighbour lists once — the peel itself then runs entirely
+    # on machine-word ints (a wide-mask op per *edge* would dominate on
+    # sparse graphs).
+    n = len(adj)
+    members: list[int] = []
+    rest = active
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        members.append(low.bit_length() - 1)
+    neigh: list[list[int]] = [[]] * n
+    degree = [0] * n
+    max_degree = 0
+    for v in members:
+        lst: list[int] = []
+        rest = adj[v] & active
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            lst.append(low.bit_length() - 1)
+        neigh[v] = lst
+        d = len(lst)
+        degree[v] = d
+        if d > max_degree:
+            max_degree = d
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for v in members:
+        buckets[degree[v]].append(v)
+    pointer = [0] * (max_degree + 1)
+    removed = bytearray(n)
+    order: list[int] = []
+    scan_from = 0
+    total = len(members)
+    while len(order) < total:
+        d = scan_from
+        while d <= max_degree and pointer[d] >= len(buckets[d]):
+            d += 1
+        if d > max_degree:
+            break
+        v = buckets[d][pointer[d]]
+        pointer[d] += 1
+        if removed[v] or degree[v] != d:
+            continue
+        scan_from = max(0, d - 1)
+        removed[v] = 1
+        order.append(v)
+        for u in neigh[v]:
+            if not removed[u]:
+                du = degree[u] - 1
+                degree[u] = du
+                buckets[du].append(u)
+    return order
+
+
+def active_edge_count_mask(adj: list[int], active: int) -> int:
+    """Number of edges of the subgraph induced by ``active``."""
+    total = 0
+    rest = active
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        total += (adj[low.bit_length() - 1] & active).bit_count()
+    return total // 2

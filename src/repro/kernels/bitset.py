@@ -1,0 +1,92 @@
+"""Bitset vertex-set representation.
+
+A vertex subset of a graph over ids ``0..n-1`` is packed into a single
+arbitrary-precision Python ``int``: bit ``v`` is set iff vertex ``v`` is
+a member.  CPython stores these as arrays of 30-bit digits, so the three
+primitives the branch-and-bound leans on all become word-parallel:
+
+* intersection          — ``a & b``          (one C loop over digits),
+* cardinality           — ``mask.bit_count()`` (popcount per digit),
+* membership / removal  — ``mask & (1 << v)`` / ``mask & ~(1 << v)``.
+
+An adjacency structure is simply ``list[int]`` — one neighbourhood mask
+per vertex — built once per graph by :func:`adjacency_masks` and cached
+by the graph classes (``DichromaticGraph.adjacency_bits`` /
+``UnsignedGraph.adjacency_bits``).
+
+This module is deliberately free of any graph-class imports so the
+kernel layer never participates in import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "mask_of",
+    "full_mask",
+    "iter_bits",
+    "bits_of",
+    "popcount",
+    "is_subset",
+    "lowest_set_bit",
+    "adjacency_masks",
+    "left_side_mask",
+]
+
+
+def mask_of(vertices: Iterable[int]) -> int:
+    """Pack an iterable of vertex ids into a bitmask."""
+    mask = 0
+    for v in vertices:
+        mask |= 1 << v
+    return mask
+
+
+def full_mask(n: int) -> int:
+    """Mask with bits ``0..n-1`` all set (the whole vertex set)."""
+    return (1 << n) - 1
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_of(mask: int) -> list[int]:
+    """The set bit positions of ``mask`` as an ascending list."""
+    return list(iter_bits(mask))
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (thin alias kept for call-site readability)."""
+    return mask.bit_count()
+
+
+def is_subset(a: int, b: int) -> bool:
+    """Whether every member of ``a`` is a member of ``b``."""
+    return not (a & ~b)
+
+
+def lowest_set_bit(mask: int) -> int:
+    """Smallest vertex id in a non-empty mask."""
+    if not mask:
+        raise ValueError("empty mask has no lowest bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def adjacency_masks(neighborhoods: Sequence[Iterable[int]]) -> list[int]:
+    """Per-vertex neighbourhood masks from per-vertex neighbour sets."""
+    return [mask_of(adj) for adj in neighborhoods]
+
+
+def left_side_mask(is_left: Sequence[bool]) -> int:
+    """Mask of the L-side of a dichromatic graph's label array."""
+    mask = 0
+    for v, flag in enumerate(is_left):
+        if flag:
+            mask |= 1 << v
+    return mask

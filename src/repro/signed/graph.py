@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..kernels.bitset import adjacency_masks, full_mask
+
 POSITIVE = 1
 NEGATIVE = -1
 
@@ -47,6 +49,13 @@ class SignedGraph:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._pos: list[set[int]] = [set() for _ in range(n)]
         self._neg: list[set[int]] = [set() for _ in range(n)]
+        # Edge counters maintained incrementally by the mutation API so
+        # num_edges / negative_ratio are O(1) (they are queried inside
+        # reduction loops).
+        self._pos_edges = 0
+        self._neg_edges = 0
+        self._pos_bits: list[int] | None = None
+        self._neg_bits: list[int] | None = None
         self._labels: list[str] | None = None
         if labels is not None:
             if len(labels) != n:
@@ -91,6 +100,8 @@ class SignedGraph:
         clone = SignedGraph(self.num_vertices, labels=self._labels)
         clone._pos = [set(adj) for adj in self._pos]
         clone._neg = [set(adj) for adj in self._neg]
+        clone._pos_edges = self._pos_edges
+        clone._neg_edges = self._neg_edges
         return clone
 
     # ------------------------------------------------------------------
@@ -108,13 +119,13 @@ class SignedGraph:
 
     @property
     def num_positive_edges(self) -> int:
-        """``|E+|``."""
-        return sum(len(adj) for adj in self._pos) // 2
+        """``|E+|`` (incrementally maintained, O(1))."""
+        return self._pos_edges
 
     @property
     def num_negative_edges(self) -> int:
-        """``|E-|``."""
-        return sum(len(adj) for adj in self._neg) // 2
+        """``|E-|`` (incrementally maintained, O(1))."""
+        return self._neg_edges
 
     @property
     def negative_ratio(self) -> float:
@@ -157,6 +168,30 @@ class SignedGraph:
         """``N(v) = N+(v) ∪ N-(v)`` (a fresh set)."""
         return self._pos[v] | self._neg[v]
 
+    def pos_adjacency_bits(self) -> list[int]:
+        """Per-vertex positive-neighbour bitmasks, lazily cached.
+
+        Invalidated by every mutation; callers must not mutate the
+        returned list or hold it across edits.
+        """
+        if self._pos_bits is None:
+            self._pos_bits = adjacency_masks(self._pos)
+        return self._pos_bits
+
+    def neg_adjacency_bits(self) -> list[int]:
+        """Per-vertex negative-neighbour bitmasks, lazily cached."""
+        if self._neg_bits is None:
+            self._neg_bits = adjacency_masks(self._neg)
+        return self._neg_bits
+
+    def all_bits(self) -> int:
+        """Mask of the full vertex set ``0..n-1``."""
+        return full_mask(self.num_vertices)
+
+    def _invalidate_bits(self) -> None:
+        self._pos_bits = None
+        self._neg_bits = None
+
     def pos_degree(self, v: int) -> int:
         """``d+(v)``."""
         return len(self._pos[v])
@@ -198,6 +233,7 @@ class SignedGraph:
         """Append a vertex; returns its id."""
         self._pos.append(set())
         self._neg.append(set())
+        self._invalidate_bits()
         if self._labels is not None:
             self._labels.append(label if label is not None
                                 else str(len(self._pos) - 1))
@@ -228,19 +264,29 @@ class SignedGraph:
             raise ValueError(
                 f"edge ({u}, {v}) already present with opposite sign")
         target = self._pos if sign == POSITIVE else self._neg
+        if v in target[u]:
+            return  # duplicate insert of the same edge: no-op
         target[u].add(v)
         target[v].add(u)
+        if sign == POSITIVE:
+            self._pos_edges += 1
+        else:
+            self._neg_edges += 1
+        self._invalidate_bits()
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the edge ``(u, v)`` whatever its sign."""
         if v in self._pos[u]:
             self._pos[u].discard(v)
             self._pos[v].discard(u)
+            self._pos_edges -= 1
         elif v in self._neg[u]:
             self._neg[u].discard(v)
             self._neg[v].discard(u)
+            self._neg_edges -= 1
         else:
             raise KeyError(f"no edge between {u} and {v}")
+        self._invalidate_bits()
 
     def isolate_vertex(self, v: int) -> None:
         """Remove all edges incident to ``v`` (used by peeling reductions)."""
@@ -248,8 +294,11 @@ class SignedGraph:
             self._pos[u].discard(v)
         for u in self._neg[v]:
             self._neg[u].discard(v)
+        self._pos_edges -= len(self._pos[v])
+        self._neg_edges -= len(self._neg[v])
         self._pos[v] = set()
         self._neg[v] = set()
+        self._invalidate_bits()
 
     # ------------------------------------------------------------------
     # Subgraphs
@@ -262,23 +311,28 @@ class SignedGraph:
         Returns the subgraph plus ``mapping`` where ``mapping[new_id]``
         is the original vertex id, so results can be translated back.
         """
-        mapping = sorted(set(vertices))
+        kept = set(vertices)
+        mapping = sorted(kept)
+        if len(mapping) == self.num_vertices:
+            return self.copy(), mapping
         index: dict[int, int] = {old: new for new, old in enumerate(mapping)}
         labels = None
         if self._labels is not None:
             labels = [self._labels[old] for old in mapping]
         sub = SignedGraph(len(mapping), labels=labels)
         for new_u, old_u in enumerate(mapping):
-            for old_v in self._pos[old_u]:
-                new_v = index.get(old_v)
-                if new_v is not None and new_u < new_v:
+            for old_v in self._pos[old_u] & kept:
+                new_v = index[old_v]
+                if new_u < new_v:
                     sub._pos[new_u].add(new_v)
                     sub._pos[new_v].add(new_u)
-            for old_v in self._neg[old_u]:
-                new_v = index.get(old_v)
-                if new_v is not None and new_u < new_v:
+                    sub._pos_edges += 1
+            for old_v in self._neg[old_u] & kept:
+                new_v = index[old_v]
+                if new_u < new_v:
                     sub._neg[new_u].add(new_v)
                     sub._neg[new_v].add(new_u)
+                    sub._neg_edges += 1
         return sub, mapping
 
     # ------------------------------------------------------------------
@@ -302,6 +356,12 @@ class SignedGraph:
             for u in self._neg[v]:
                 assert 0 <= u < n and v in self._neg[u], \
                     f"asymmetric negative edge ({v}, {u})"
+        pos_sum = sum(len(adj) for adj in self._pos) // 2
+        neg_sum = sum(len(adj) for adj in self._neg) // 2
+        assert self._pos_edges == pos_sum, \
+            f"positive edge counter {self._pos_edges} != {pos_sum}"
+        assert self._neg_edges == neg_sum, \
+            f"negative edge counter {self._neg_edges} != {neg_sum}"
 
     def degree_statistics(self) -> Mapping[str, float]:
         """Summary statistics used by dataset reports."""

@@ -29,6 +29,7 @@ EXPECTED_MODULES = [
     "bench_ablation_orderings",
     "bench_ablation_pruning",
     "bench_ablation_bounds",
+    "bench_kernels",
 ]
 
 
@@ -74,6 +75,18 @@ class TestHelpers:
         graph = load("bitcoin", scale=0.3)
         sample = sample_vertices(graph, 0.5, seed=1)
         assert sample.num_vertices == graph.num_vertices // 2
+        sample.validate()
+
+    def test_sample_vertices_fraction_above_one(self, bench_package):
+        # Regression: fraction > 1 used to ask random.sample for more
+        # vertices than the graph has, raising ValueError; the count is
+        # now clamped to n.
+        from benchmarks._common import sample_vertices
+        from repro.datasets.registry import load
+
+        graph = load("bitcoin", scale=0.3)
+        sample = sample_vertices(graph, 1.25, seed=3)
+        assert sample.num_vertices == graph.num_vertices
         sample.validate()
 
     def test_sample_vertices_deterministic(self, bench_package):

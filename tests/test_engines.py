@@ -1,0 +1,282 @@
+"""Differential tests: set engine vs bitset engine.
+
+The bitset kernel layer (:mod:`repro.kernels`) re-implements the hot
+path of MDC/DCC/MBC*/PF* on int-mask adjacency.  Both engines must
+agree on every *optimum* (clique sizes, polarization factors) on a
+broad family of seeded random signed graphs; the returned cliques may
+differ between engines when several optima exist, so each is validated
+structurally via ``BalancedClique.from_vertices`` instead of compared
+vertex-by-vertex.
+
+A second group pins the kernel primitives themselves against their
+set-based reference implementations on random dichromatic graphs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.gmbc import gmbc_star
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_binary_search, pf_star
+from repro.core.reductions import edge_reduction, edge_reduction_fast
+from repro.core.result import BalancedClique
+from repro.dichromatic.build import build_dichromatic_network, \
+    build_dichromatic_network_bits
+from repro.dichromatic.cores import bicore_active, \
+    coloring_upper_bound_active, k_core_active
+from repro.dichromatic.graph import DichromaticGraph
+from repro.kernels import validate_engine
+from repro.kernels.active import bicore_active_mask, \
+    coloring_upper_bound_active_mask, degeneracy_ordering_mask, \
+    degree_in_active, intersect_active, k_core_active_mask
+from repro.kernels.bitset import bits_of, mask_of
+from repro.signed.graph import SignedGraph
+from repro.unsigned.graph import UnsignedGraph
+
+
+def random_signed_graph(seed: int) -> SignedGraph:
+    """Seeded random signed graph with varying density and sign mix."""
+    rng = random.Random(seed)
+    n = rng.randint(6, 28)
+    density = rng.uniform(0.15, 0.75)
+    negative_ratio = rng.uniform(0.2, 0.8)
+    graph = SignedGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                sign = -1 if rng.random() < negative_ratio else 1
+                graph.add_edge(u, v, sign)
+    return graph
+
+
+def random_dichromatic_graph(seed: int) -> DichromaticGraph:
+    rng = random.Random(seed)
+    n = rng.randint(4, 24)
+    is_left = [rng.random() < 0.5 for _ in range(n)]
+    graph = DichromaticGraph(is_left)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < rng.uniform(0.2, 0.7):
+                graph.add_edge(u, v)
+    return graph
+
+
+def assert_valid(clique: BalancedClique, graph: SignedGraph, tau: int):
+    if clique.is_empty:
+        return
+    # from_vertices re-derives the two sides and validates that the
+    # vertex set is a structurally balanced clique of the graph.
+    rebuilt = BalancedClique.from_vertices(graph, clique.vertices)
+    assert rebuilt.size == clique.size
+    assert clique.satisfies(tau)
+
+
+class TestMbcStarDifferential:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_same_optimum_on_random_graphs(self, seed):
+        graph = random_signed_graph(seed)
+        tau = seed % 4
+        by_set = mbc_star(graph, tau, engine="set")
+        by_bitset = mbc_star(graph, tau, engine="bitset")
+        assert by_set.size == by_bitset.size
+        assert_valid(by_set, graph, tau)
+        assert_valid(by_bitset, graph, tau)
+
+    @pytest.mark.parametrize("seed", [3, 11, 27])
+    def test_check_only_agrees_on_feasibility(self, seed):
+        graph = random_signed_graph(seed)
+        for tau in range(4):
+            by_set = mbc_star(graph, tau, check_only=True, engine="set")
+            by_bitset = mbc_star(
+                graph, tau, check_only=True, engine="bitset")
+            assert by_set.is_empty == by_bitset.is_empty
+            assert_valid(by_bitset, graph, tau)
+
+    def test_unknown_engine_rejected(self):
+        graph = random_signed_graph(0)
+        with pytest.raises(ValueError, match="unknown engine"):
+            mbc_star(graph, 1, engine="bitmap")
+        with pytest.raises(ValueError, match="unknown engine"):
+            validate_engine("")
+
+
+class TestPfDifferential:
+    @pytest.mark.parametrize("seed", range(0, 50, 2))
+    def test_pf_star_same_factor(self, seed):
+        graph = random_signed_graph(seed)
+        by_set = pf_star(graph, engine="set")
+        by_bitset, witness = pf_star(
+            graph, engine="bitset", return_witness=True)
+        assert by_set == by_bitset
+        assert_valid(witness, graph, 0)
+        assert witness.polarization == by_bitset
+
+    @pytest.mark.parametrize("seed", range(1, 40, 4))
+    def test_pf_binary_search_same_factor(self, seed):
+        graph = random_signed_graph(seed)
+        assert pf_binary_search(graph, engine="set") == \
+            pf_binary_search(graph, engine="bitset")
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_pf_star_dorder_variant(self, seed):
+        graph = random_signed_graph(seed)
+        assert pf_star(graph, ordering="degeneracy", engine="set") == \
+            pf_star(graph, ordering="degeneracy", engine="bitset")
+
+
+class TestGmbcDifferential:
+    @pytest.mark.parametrize("seed", [2, 9, 23, 31])
+    def test_same_profile(self, seed):
+        graph = random_signed_graph(seed)
+        by_set = gmbc_star(graph, engine="set")
+        by_bitset = gmbc_star(graph, engine="bitset")
+        # results[tau] is the maximum for threshold tau.
+        assert len(by_set) == len(by_bitset)
+        for tau, clique in enumerate(by_bitset):
+            assert by_set[tau].size == clique.size
+            assert_valid(clique, graph, tau)
+
+
+class TestEdgeReductionDifferential:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_same_fixpoint(self, seed):
+        # The reduction is monotone, so its fixpoint is unique: the
+        # pass-based set version and the worklist mask version must
+        # keep exactly the same edges.
+        graph = random_signed_graph(seed)
+        tau = seed % 5
+        by_set = edge_reduction(graph, tau)
+        by_bits = edge_reduction_fast(graph, tau)
+        assert sorted(by_set.edges()) == sorted(by_bits.edges())
+
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_input_untouched(self, seed):
+        graph = random_signed_graph(seed)
+        before = sorted(graph.edges())
+        edge_reduction_fast(graph, 3)
+        assert sorted(graph.edges()) == before
+
+    @pytest.mark.parametrize("seed", range(0, 30, 3))
+    def test_mbc_star_with_er_same_optimum(self, seed):
+        graph = random_signed_graph(seed)
+        tau = 1 + seed % 3
+        by_set = mbc_star(graph, tau, use_edge_reduction=True,
+                          engine="set")
+        by_bitset = mbc_star(graph, tau, use_edge_reduction=True,
+                             engine="bitset")
+        assert by_set.size == by_bitset.size
+        assert_valid(by_bitset, graph, tau)
+
+
+class TestNetworkBuilderDifferential:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_same_network(self, seed):
+        graph = random_signed_graph(seed)
+        rng = random.Random(seed + 1000)
+        u = rng.randrange(graph.num_vertices)
+        allowed = set(rng.sample(
+            range(graph.num_vertices),
+            rng.randint(0, graph.num_vertices))) - {u}
+        for allowed_set, allowed_mask in [
+            (None, None), (allowed, mask_of(allowed)),
+        ]:
+            by_set = build_dichromatic_network(graph, u, allowed_set)
+            by_bits = build_dichromatic_network_bits(
+                graph, u, allowed_mask)
+            assert by_set.origin == by_bits.origin
+            assert by_set.is_left == by_bits.is_left
+            assert sorted(by_set.edges()) == sorted(by_bits.edges())
+
+
+class TestKernelPrimitives:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_intersection_and_degree(self, seed):
+        graph = random_dichromatic_graph(seed)
+        adj = graph.adjacency_bits()
+        rng = random.Random(seed)
+        active = set(rng.sample(
+            range(graph.num_vertices),
+            rng.randint(0, graph.num_vertices)))
+        active_mask = mask_of(active)
+        for v in graph.vertices():
+            expected = graph.neighbors(v) & active
+            got = intersect_active(adj, v, active_mask)
+            assert set(bits_of(got)) == expected
+            assert degree_in_active(adj, v, active_mask) == len(expected)
+
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_k_core(self, seed, k):
+        graph = random_dichromatic_graph(seed)
+        adj = graph.adjacency_bits()
+        expected = k_core_active(graph, k, graph.vertices())
+        got = k_core_active_mask(adj, k, graph.all_bits())
+        assert set(bits_of(got)) == expected
+
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("taus", [(0, 0), (1, 2), (2, 2), (3, 1)])
+    def test_bicore(self, seed, taus):
+        graph = random_dichromatic_graph(seed)
+        tau_l, tau_r = taus
+        expected = bicore_active(
+            graph, tau_l, tau_r, graph.vertices())
+        got = bicore_active_mask(
+            graph.adjacency_bits(), graph.left_bits(), tau_l, tau_r,
+            graph.all_bits())
+        assert set(bits_of(got)) == expected
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_coloring_bound_is_valid_clique_bound(self, seed):
+        # Tie-breaking differs from the set version, so only the bound
+        # property is compared: every clique fits under both bounds and
+        # the two bounds rarely drift far apart.
+        graph = random_dichromatic_graph(seed)
+        bound_set = coloring_upper_bound_active(
+            graph, graph.vertices())
+        bound_mask = coloring_upper_bound_active_mask(
+            graph.adjacency_bits(), graph.all_bits())
+        omega = _max_clique_size(graph)
+        assert bound_mask >= omega
+        assert bound_set >= omega
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_degeneracy_ordering_mask_is_valid(self, seed):
+        graph = random_dichromatic_graph(seed)
+        adj = graph.adjacency_bits()
+        order = degeneracy_ordering_mask(adj, graph.all_bits())
+        assert sorted(order) == list(graph.vertices())
+        # Degeneracy property: each vertex has at most `degeneracy`
+        # neighbours among the vertices after it in the order.
+        remaining = graph.all_bits()
+        degeneracy = 0
+        for v in order:
+            remaining &= ~(1 << v)
+            degeneracy = max(
+                degeneracy, (adj[v] & remaining).bit_count())
+        unsigned = UnsignedGraph.from_edges(
+            graph.num_vertices, graph.edges())
+        from repro.unsigned.cores import degeneracy as set_degeneracy
+        assert degeneracy == set_degeneracy(unsigned)
+
+
+def _max_clique_size(graph: DichromaticGraph) -> int:
+    best = 0
+    adj = graph.adjacency_bits()
+
+    def expand(clique_size: int, candidates: int) -> None:
+        nonlocal best
+        if clique_size > best:
+            best = clique_size
+        rest = candidates
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            v = low.bit_length() - 1
+            if clique_size + candidates.bit_count() <= best:
+                return
+            expand(clique_size + 1, candidates & adj[v])
+            candidates ^= low
+
+    expand(0, graph.all_bits())
+    return best
