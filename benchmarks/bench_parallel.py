@@ -1,0 +1,150 @@
+"""Parallel fan-out scaling benchmark — serial vs ``--workers N``.
+
+Runs ``mbc_star`` on every stand-in dataset serially and through the
+fan-out engine at 2 and 4 workers, asserting identical optimum sizes
+(the fan-out's correctness contract) and recording wall-clock per
+dataset plus totals.
+
+The committed ``BENCH_parallel.json`` records the machine it ran on:
+scaling is bounded above by the CPU count the container exposes
+(``os.cpu_count`` / ``sched_getaffinity``), and on a single-core box
+the speedup reflects only the dispatcher-side gains (cost ordering,
+pre-dispatch bound, live incumbent) minus pool overhead — there is no
+second core to win on.  ``MIN_POOL_TASKS`` keeps small sweeps
+in-process for exactly that reason.
+
+Standalone mode writes ``BENCH_parallel.json`` next to the repo root
+(``python benchmarks/bench_parallel.py``); the pytest targets wire the
+same workloads into pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_star
+
+try:
+    from ._common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        format_seconds, print_table, run_once, timed
+except ImportError:
+    from _common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
+        format_seconds, print_table, run_once, timed
+
+WORKER_COUNTS = [2, 4]
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def collect_scaling() -> dict:
+    """``mbc_star`` wall-clock per dataset: serial vs worker counts."""
+    datasets = []
+    totals = {"serial": 0.0}
+    totals.update({f"workers_{w}": 0.0 for w in WORKER_COUNTS})
+    for name in ALL_DATASETS:
+        graph = bench_graph(name)
+        serial_clique, serial_seconds = timed(
+            lambda: mbc_star(graph, DEFAULT_TAU))
+        row = {
+            "dataset": name,
+            "size": serial_clique.size,
+            "serial_seconds": round(serial_seconds, 4),
+        }
+        totals["serial"] += serial_seconds
+        for workers in WORKER_COUNTS:
+            clique, seconds = timed(
+                lambda: mbc_star(graph, DEFAULT_TAU, parallel=workers))
+            assert clique.size == serial_clique.size, (
+                f"fan-out disagrees on {name} at {workers} workers: "
+                f"{clique.size} != {serial_clique.size}")
+            row[f"workers_{workers}_seconds"] = round(seconds, 4)
+            row[f"workers_{workers}_speedup"] = round(
+                serial_seconds / seconds, 2) if seconds else None
+            totals[f"workers_{workers}"] += seconds
+
+        datasets.append(row)
+    result = {
+        "tau": DEFAULT_TAU,
+        "worker_counts": WORKER_COUNTS,
+        "datasets": datasets,
+        "total_serial_seconds": round(totals["serial"], 4),
+    }
+    for workers in WORKER_COUNTS:
+        total = totals[f"workers_{workers}"]
+        result[f"total_workers_{workers}_seconds"] = round(total, 4)
+        result[f"total_workers_{workers}_speedup"] = round(
+            totals["serial"] / total, 2) if total else None
+    return result
+
+
+@pytest.mark.parametrize("workers", [1] + WORKER_COUNTS)
+def test_mbc_star_scaling(benchmark, workers):
+    graph = bench_graph("douban")
+    clique = run_once(
+        benchmark,
+        lambda: mbc_star(graph, DEFAULT_TAU, parallel=workers))
+    assert clique.is_empty or clique.satisfies(DEFAULT_TAU)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_pf_star_scaling(benchmark, workers):
+    graph = bench_graph("bitcoin")
+    beta = run_once(benchmark, lambda: pf_star(graph, parallel=workers))
+    assert beta >= 0
+
+
+def main() -> None:
+    scaling = collect_scaling()
+    headers = ["dataset", "serial"]
+    for workers in WORKER_COUNTS:
+        headers += [f"{workers}w", f"{workers}w speedup"]
+    headers.append("size")
+    rows = []
+    for row in scaling["datasets"]:
+        cells = [row["dataset"], format_seconds(row["serial_seconds"])]
+        for workers in WORKER_COUNTS:
+            cells += [
+                format_seconds(row[f"workers_{workers}_seconds"]),
+                f"{row[f'workers_{workers}_speedup']:.2f}x"]
+        cells.append(row["size"])
+        rows.append(cells)
+    print_table(
+        f"MBC* fan-out scaling (tau={DEFAULT_TAU})", headers, rows)
+    totals = [f"serial={format_seconds(scaling['total_serial_seconds'])}"]
+    for workers in WORKER_COUNTS:
+        totals.append(
+            f"{workers}w="
+            f"{format_seconds(scaling[f'total_workers_{workers}_seconds'])}"
+            f" ({scaling[f'total_workers_{workers}_speedup']:.2f}x)")
+    print("\nTOTAL " + "  ".join(totals))
+    cpus = _available_cpus()
+    print(f"available CPUs: {cpus}")
+    if "--no-json" not in sys.argv:
+        payload = {
+            "cpu_count": cpus,
+            "hardware_note": (
+                "speedup is bounded by the CPUs the container exposes; "
+                "with cpu_count=1 only the dispatcher-side gains "
+                "(cost ordering, pre-dispatch bound, shared incumbent) "
+                "are visible and pool overhead is pure cost"),
+            "scaling": scaling,
+        }
+        out = Path(__file__).resolve().parent.parent / \
+            "BENCH_parallel.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,10 @@ def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
         "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
         help="adjacency engine: bitset kernels (default) or the "
              "original adjacency sets")
+    subparser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the ego-network sweep (default 1 = "
+             "serial; needs the bitset engine)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,7 +110,7 @@ def _cmd_mbc(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     if args.algorithm == "star":
         clique = mbc_star(graph, args.tau, stats=stats,
-                          engine=args.engine)
+                          engine=args.engine, parallel=args.workers)
         engine = args.engine
     else:
         clique = mbc_baseline(graph, args.tau, stats=stats)
@@ -125,10 +129,12 @@ def _cmd_pf(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     started = time.perf_counter()
     if args.algorithm == "star":
-        beta = pf_star(graph, engine=args.engine)
+        beta = pf_star(graph, engine=args.engine,
+                       parallel=args.workers)
         engine = args.engine
     elif args.algorithm == "binary-search":
-        beta = pf_binary_search(graph, engine=args.engine)
+        beta = pf_binary_search(graph, engine=args.engine,
+                                parallel=args.workers)
         engine = args.engine
     else:
         beta = pf_enumeration(graph)
@@ -143,9 +149,11 @@ def _cmd_gmbc(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     started = time.perf_counter()
     if args.algorithm == "star":
-        results = gmbc_star(graph, engine=args.engine)
+        results = gmbc_star(graph, engine=args.engine,
+                            parallel=args.workers)
     else:
-        results = gmbc_naive(graph, engine=args.engine)
+        results = gmbc_naive(graph, engine=args.engine,
+                             parallel=args.workers)
     elapsed = time.perf_counter() - started
     for tau, clique in enumerate(results):
         print(f"tau={tau:3d}  {clique.describe(graph)}")

@@ -30,16 +30,19 @@ def gmbc_naive(
     graph: SignedGraph,
     stats: SearchStats | None = None,
     engine: str = "bitset",
+    parallel: int = 0,
 ) -> list[BalancedClique]:
     """gMBC: maxima for all ``tau``, each computed from scratch.
 
     Returns ``results`` with ``results[tau]`` the maximum balanced
     clique for threshold ``tau``; ``len(results) == beta(G) + 1``.
+    ``parallel`` forwards to every MBC* invocation.
     """
     results: list[BalancedClique] = []
     tau = 0
     while True:
-        clique = mbc_star(graph, tau, stats=stats, engine=engine)
+        clique = mbc_star(
+            graph, tau, stats=stats, engine=engine, parallel=parallel)
         if clique.is_empty or not clique.satisfies(tau):
             break
         results.append(clique)
@@ -51,19 +54,22 @@ def gmbc_star(
     graph: SignedGraph,
     stats: SearchStats | None = None,
     engine: str = "bitset",
+    parallel: int = 0,
 ) -> list[BalancedClique]:
     """gMBC* (Algorithm 6): shared-computation downward sweep.
 
-    Same contract as :func:`gmbc_naive`.
+    Same contract as :func:`gmbc_naive`; ``parallel`` forwards to the
+    PF* bootstrap and to every per-``tau`` MBC* invocation.
     """
     if graph.num_vertices == 0:
         return []
-    beta = pf_star(graph, stats=stats, engine=engine)
+    beta = pf_star(graph, stats=stats, engine=engine, parallel=parallel)
     results: list[BalancedClique] = []
     previous: BalancedClique | None = None
     for tau in range(beta, -1, -1):
         clique = mbc_star(
-            graph, tau, initial=previous, stats=stats, engine=engine)
+            graph, tau, initial=previous, stats=stats, engine=engine,
+            parallel=parallel)
         if clique.is_empty:
             # Cannot happen for tau <= beta(G) by definition; guard for
             # robustness against a caller-mangled graph.

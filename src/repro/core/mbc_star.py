@@ -33,11 +33,12 @@ from ..kernels.active import (
     k_core_active_mask,
 )
 from ..kernels.bitset import iter_bits
+from ..parallel.engine import mbc_ego_fanout, resolve_workers
 from ..signed.graph import SignedGraph
 from ..unsigned.coloring import coloring_upper_bound
 from ..unsigned.cores import k_core_subset
 from ..unsigned.graph import UnsignedGraph
-from ..unsigned.ordering import degeneracy_ordering
+from ..unsigned.ordering import HigherRanked, degeneracy_ordering
 from .heuristic import mbc_heuristic
 from .reductions import edge_reduction, edge_reduction_fast, \
     vertex_reduction
@@ -45,18 +46,6 @@ from .result import EMPTY_RESULT, BalancedClique
 from .stats import SearchStats
 
 __all__ = ["mbc_star"]
-
-
-class _HigherRanked:
-    """Membership view over vertices ranked above a threshold."""
-
-    def __init__(self, rank: dict[int, int], threshold: int):
-        self._rank = rank
-        self._threshold = threshold
-
-    def __contains__(self, v: int) -> bool:
-        rank = self._rank.get(v)
-        return rank is not None and rank > self._threshold
 
 
 def mbc_star(
@@ -70,6 +59,7 @@ def mbc_star(
     use_coloring: bool = True,
     use_core: bool = True,
     engine: str = "bitset",
+    parallel: int = 0,
 ) -> BalancedClique:
     """Maximum balanced clique satisfying the polarization constraint.
 
@@ -104,6 +94,14 @@ def mbc_star(
         MDC search on int-mask adjacency (see :mod:`repro.kernels`);
         ``"set"`` is the original adjacency-set path, retained for
         differential testing and the ablation benchmarks.
+    parallel:
+        Number of worker processes for the ego-network sweep.  ``0`` or
+        ``1`` run the serial sweep; larger values fan the per-vertex
+        MDC instances out across a process pool with a shared incumbent
+        (:mod:`repro.parallel`).  Requires the bitset engine; the
+        optimum size is identical to the serial sweep's.  ``check_only``
+        runs always stay serial (the first witness ends the search, so
+        there is nothing to fan out).
 
     Returns
     -------
@@ -116,6 +114,9 @@ def mbc_star(
     if ordering not in ("degeneracy", "degree", "id"):
         raise ValueError(f"unknown ordering {ordering!r}")
     validate_engine(engine)
+    workers = resolve_workers(parallel)
+    if workers > 1 and engine != "bitset":
+        raise ValueError("parallel execution requires the bitset engine")
     best = initial if initial is not None else EMPTY_RESULT
     if not best.is_empty and not best.satisfies(tau):
         raise ValueError("initial clique violates the tau constraint")
@@ -183,6 +184,16 @@ def mbc_star(
             order = sorted(core_alive)
     rank = {v: position for position, v in enumerate(order)}
 
+    # Parallel fan-out: the per-vertex instances of the sweep below are
+    # order-independent, so with workers requested they are dispatched
+    # to a process pool instead (identical optimum size guaranteed; see
+    # repro.parallel).  check_only stays serial: its contract is "stop
+    # at the first witness", which a fan-out cannot honour cheaply.
+    if workers > 1 and engine == "bitset" and not check_only:
+        return mbc_ego_fanout(
+            working, mapping, tau, best, order, workers,
+            use_core=use_core, use_coloring=use_coloring, stats=stats)
+
     # Line 5: process vertices in reverse degeneracy order.  The bitset
     # engine carries the "higher-ranked" filter as a mask accumulated
     # over already-processed vertices (exactly the vertices ranked above
@@ -234,7 +245,7 @@ def mbc_star(
                 engine=engine,
                 active_mask=active_mask)
         else:
-            allowed = _HigherRanked(rank, rank[u])
+            allowed = HigherRanked(rank, rank[u])
             network = build_dichromatic_network(working, u, allowed)
             if network.num_vertices + 1 < required:
                 continue

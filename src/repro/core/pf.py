@@ -27,9 +27,10 @@ from ..dichromatic.dcc import dichromatic_clique_witness
 from ..kernels import validate_engine
 from ..kernels.active import active_edge_count_mask, bicore_active_mask, \
     degeneracy_ordering_mask
+from ..parallel.engine import pf_round_fanout, resolve_workers
 from ..signed.graph import SignedGraph
 from ..unsigned.graph import UnsignedGraph
-from ..unsigned.ordering import degeneracy_ordering
+from ..unsigned.ordering import HigherRanked, degeneracy_ordering
 from .heuristic import mbc_heuristic
 from .mbc_star import mbc_star
 from .reductions import polar_core_numbers, polarization_upper_bound, \
@@ -101,18 +102,22 @@ def pf_binary_search(
     graph: SignedGraph,
     stats: SearchStats | None = None,
     engine: str = "bitset",
+    parallel: int = 0,
 ) -> int:
     """PF-BS: binary search on ``tau``, feasibility via MBC*.
 
     Each probe runs MBC* in ``check_only`` mode (terminate as soon as
     both residual thresholds hit zero — the Section IV-B optimization).
+    ``parallel`` is accepted for interface parity but the probes stay
+    serial: ``check_only`` searches stop at the first witness.
     """
     low = 0
     high = polarization_upper_bound(graph)
     while low < high:
         mid = (low + high + 1) // 2
         witness = mbc_star(
-            graph, mid, check_only=True, stats=stats, engine=engine)
+            graph, mid, check_only=True, stats=stats, engine=engine,
+            parallel=parallel)
         if witness.satisfies(mid) and not witness.is_empty:
             low = mid
         else:
@@ -126,6 +131,7 @@ def pf_star(
     ordering: str = "polarization",
     return_witness: bool = False,
     engine: str = "bitset",
+    parallel: int = 0,
 ) -> "int | tuple[int, BalancedClique]":
     """PF* (Algorithm 4): the dichromatic-clique-checking algorithm.
 
@@ -142,6 +148,13 @@ def pf_star(
         ``"bitset"`` (default) runs the per-vertex bicore reduction and
         DCC check on int-mask adjacency; ``"set"`` is the original
         adjacency-set path.
+    parallel:
+        Number of worker processes.  ``0``/``1`` run the serial sweep;
+        larger values run the round-based fan-out of
+        :func:`repro.parallel.engine.pf_round_fanout`, which asks the
+        +1 questions of all still-viable vertices concurrently and
+        iterates until the bar stops rising — the fixpoint is exactly
+        ``beta(G)``.  Requires the bitset engine.
 
     Returns
     -------
@@ -152,6 +165,9 @@ def pf_star(
     if ordering not in ("polarization", "degeneracy"):
         raise ValueError(f"unknown ordering {ordering!r}")
     validate_engine(engine)
+    workers = resolve_workers(parallel)
+    if workers > 1 and engine != "bitset":
+        raise ValueError("parallel execution requires the bitset engine")
 
     # Line 1: heuristic lower bound.
     heuristic = mbc_heuristic(graph, 0, engine=engine)
@@ -177,6 +193,16 @@ def pf_star(
         pn = None
     rank = {v: position for position, v in enumerate(order)}
 
+    # Parallel fan-out: rounds of concurrent +1 questions instead of
+    # the serial sweep (identical beta(G); see repro.parallel).
+    if workers > 1 and engine == "bitset":
+        tau_star, witness = pf_round_fanout(
+            working, mapping, order, pn, tau_star, witness, workers,
+            stats=stats)
+        if return_witness:
+            return tau_star, witness
+        return tau_star
+
     # Lines 4-8: reverse-order sweep with DCC checks.  As in MBC*, the
     # bitset engine accumulates the higher-ranked filter as a mask of
     # already-processed vertices.
@@ -192,7 +218,7 @@ def pf_star(
             network = build_dichromatic_network_bits(
                 working, u, this_allowed_mask)
         else:
-            allowed = _HigherRanked(rank, rank[u])
+            allowed = HigherRanked(rank, rank[u])
             network = build_dichromatic_network(working, u, allowed)
         # Line 6: (tau*+1, tau*+1)-core of g_u; thresholds shifted
         # because u (an L-vertex adjacent to everyone) is excluded.
@@ -249,15 +275,3 @@ def pf_star(
     if return_witness:
         return tau_star, witness
     return tau_star
-
-
-class _HigherRanked:
-    """Membership view over vertices ranked above a threshold."""
-
-    def __init__(self, rank: dict[int, int], threshold: int):
-        self._rank = rank
-        self._threshold = threshold
-
-    def __contains__(self, v: int) -> bool:
-        position = self._rank.get(v)
-        return position is not None and position > self._threshold

@@ -20,6 +20,10 @@ from dataclasses import dataclass, field
 
 __all__ = ["SearchStats"]
 
+# NOTE: instances of this class cross process boundaries — the parallel
+# fan-out workers return one per chunk — so it must stay picklable
+# (plain dataclass fields only).
+
 
 @dataclass
 class SearchStats:
@@ -70,10 +74,31 @@ class SearchStats:
             return None
         return sum(self.sr2_samples) / len(self.sr2_samples)
 
-    def merge(self, other: "SearchStats") -> None:
-        """Fold another run's counters into this one (used by gMBC*)."""
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Fold another accumulator's counters into this one.
+
+        The single accumulation routine shared by every consumer: gMBC*
+        folds per-``tau`` runs together, and the parallel fan-out engine
+        folds each worker's per-chunk :class:`SearchStats` into the
+        caller's instance.  Additive counters and the SR sample lists
+        accumulate; ``heuristic_size`` keeps the maximum, since each
+        side reports the same quantity (the best initial bound seen)
+        rather than a partial sum.  Returns ``self`` for chaining.
+        """
+        self.heuristic_size = max(self.heuristic_size,
+                                  other.heuristic_size)
         self.instances += other.instances
         self.vertices_examined += other.vertices_examined
         self.nodes += other.nodes
         self.sr1_samples.extend(other.sr1_samples)
         self.sr2_samples.extend(other.sr2_samples)
+        return self
+
+    @classmethod
+    def merged(cls, runs: "list[SearchStats]") -> "SearchStats":
+        """One accumulator holding the fold of ``runs`` (used by the
+        parallel aggregator to combine per-worker reports)."""
+        total = cls()
+        for run in runs:
+            total.merge(run)
+        return total

@@ -40,8 +40,10 @@ from .graph import DichromaticGraph
 __all__ = [
     "build_dichromatic_network",
     "build_dichromatic_network_bits",
+    "dichromatic_network_from_masks",
     "ego_network_edge_count",
     "ego_network_edge_count_bits",
+    "ego_edge_count_from_masks",
 ]
 
 
@@ -117,8 +119,24 @@ def build_dichromatic_network_bits(
     ``allowed_mask`` is the bitmask analogue of the set builder's
     ``allowed`` container (MBC*/PF* pass the higher-ranked vertex set).
     """
-    pos_bits = graph.pos_adjacency_bits()
-    neg_bits = graph.neg_adjacency_bits()
+    return dichromatic_network_from_masks(
+        graph.pos_adjacency_bits(), graph.neg_adjacency_bits(),
+        u, allowed_mask)
+
+
+def dichromatic_network_from_masks(
+    pos_bits: list[int],
+    neg_bits: list[int],
+    u: int,
+    allowed_mask: int | None = None,
+) -> DichromaticGraph:
+    """:func:`build_dichromatic_network_bits` over raw mask arrays.
+
+    The parallel fan-out workers hold the reduced graph only as the two
+    adjacency-mask lists shipped at pool start (no :class:`SignedGraph`
+    object exists in the worker), so the builder's real implementation
+    lives at this level.
+    """
     pos_u = pos_bits[u]
     neg_u = neg_bits[u]
     if allowed_mask is not None:
@@ -189,8 +207,19 @@ def ego_network_edge_count_bits(
     allowed_mask: int | None = None,
 ) -> int:
     """Bitset fast path of :func:`ego_network_edge_count`."""
-    pos_bits = graph.pos_adjacency_bits()
-    neg_bits = graph.neg_adjacency_bits()
+    return ego_edge_count_from_masks(
+        graph.pos_adjacency_bits(), graph.neg_adjacency_bits(),
+        u, allowed_mask)
+
+
+def ego_edge_count_from_masks(
+    pos_bits: list[int],
+    neg_bits: list[int],
+    u: int,
+    allowed_mask: int | None = None,
+) -> int:
+    """:func:`ego_network_edge_count_bits` over raw mask arrays (the
+    representation the parallel workers hold)."""
     members = pos_bits[u] | neg_bits[u]
     if allowed_mask is not None:
         members &= allowed_mask

@@ -1,0 +1,279 @@
+"""The fan-out driver: pools, dispatch, and result aggregation.
+
+``mbc_ego_fanout`` replaces the serial ego-network sweep of MBC* when
+``parallel > 1``; ``pf_round_fanout`` does the same for PF*'s
+DCC sweep.  Both guarantee an optimum of **identical size** to the
+serial engines regardless of scheduling:
+
+* every task is defined by ``(u, higher-ranked mask)`` alone, so the
+  union of tasks covers every candidate clique whatever the order;
+* the shared incumbent only ever *grows*, and only to sizes of cliques
+  actually found, so a task skipped against it can never have held a
+  strictly larger clique;
+* the parent aggregates every worker's best witness and takes the
+  maximum.
+
+Pool strategy: a fresh pool per solve, preferring the ``fork`` start
+method — the parent installs the :class:`~repro.parallel.worker.
+WorkerContext` in a module global first, so the children inherit the
+reduced graph through the address-space copy and nothing is pickled at
+all (the ISSUE's "shipped at pool start, not per-task pickles").
+Platforms without ``fork`` fall back to ``spawn`` with the context
+packed into compact byte blobs; if no pool can be created at all, the
+same chunk runners execute in-process, which is also what tiny
+workloads get (``MIN_POOL_TASKS``) since a pool costs ~10–20 ms to
+spin up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from ..core.result import BalancedClique
+from ..core.stats import SearchStats
+from .incumbent import SharedIncumbent
+from .tasks import chunk_vertices, cost_ordered, estimated_work, \
+    is_viable, plan_tasks
+from .worker import WorkerContext, install_context, run_dcc_chunk, \
+    run_mdc_chunk
+from . import worker as worker_module
+
+__all__ = [
+    "resolve_workers",
+    "preferred_start_method",
+    "mbc_ego_fanout",
+    "pf_round_fanout",
+    "MIN_POOL_TASKS",
+    "MIN_POOL_WORK",
+]
+
+#: Below this many dispatchable tasks the plan runs in-process: pool
+#: startup (~10-20 ms) would dominate the sweep itself.
+MIN_POOL_TASKS = 24
+
+#: Minimum :func:`~repro.parallel.tasks.estimated_work` before a pool
+#: is worth its startup + IPC cost.  A sweep below this finishes in a
+#: few milliseconds serially, so even on a many-core machine a pool is
+#: a net loss for it.
+MIN_POOL_WORK = 150_000
+
+#: Test hook: force a specific multiprocessing start method (e.g.
+#: ``"spawn"`` to exercise the packed-payload path on Linux), or
+#: ``"none"`` to simulate a platform without usable pools.
+FORCE_START_METHOD: str | None = None
+
+
+def resolve_workers(parallel: int | None) -> int:
+    """Normalize the ``parallel`` knob: ``None``/``0``/``1`` mean
+    serial; larger values request that many worker processes."""
+    if parallel is None or parallel <= 1:
+        return 1
+    return int(parallel)
+
+
+def preferred_start_method() -> str | None:
+    """``"fork"`` where available (zero-copy context shipping),
+    ``"spawn"`` otherwise, ``None`` when pools cannot be used."""
+    if FORCE_START_METHOD is not None:
+        return None if FORCE_START_METHOD == "none" else \
+            FORCE_START_METHOD
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return "fork"
+    if "spawn" in methods:
+        return "spawn"
+    return None  # pragma: no cover - no such CPython platform
+
+
+def _make_pool(workers: int, ctx_obj: WorkerContext):
+    """Create a worker pool with the context shipped, or ``None`` when
+    the platform cannot provide one (callers then run in-process)."""
+    method = preferred_start_method()
+    if method is None:
+        return None
+    try:
+        mp_ctx = multiprocessing.get_context(method)
+        if method == "fork":
+            # Children inherit the module global through fork.
+            install_context(ctx_obj)
+            return mp_ctx.Pool(workers)
+        return mp_ctx.Pool(
+            workers,
+            initializer=worker_module.init_spawned_worker,
+            initargs=(ctx_obj.pack(), ctx_obj.incumbent._value))
+    except OSError:  # pragma: no cover - resource exhaustion
+        return None
+
+
+def _run_chunks(pool, runner, chunks, ctx_obj: WorkerContext):
+    """Yield chunk results from the pool, or in-process when absent."""
+    if pool is None:
+        install_context(ctx_obj)
+        for chunk in chunks:
+            yield runner(chunk)
+        return
+    yield from pool.imap_unordered(runner, chunks)
+
+
+def mbc_ego_fanout(
+    working,
+    mapping: list[int],
+    tau: int,
+    best: BalancedClique,
+    order: list[int],
+    workers: int,
+    use_core: bool = True,
+    use_coloring: bool = True,
+    stats: SearchStats | None = None,
+) -> BalancedClique:
+    """Run MBC*'s ego-network sweep as a parallel fan-out.
+
+    Parameters mirror the serial sweep's state at line 5 of
+    Algorithm 2: ``working`` is the reduced graph, ``mapping`` its
+    vertex translation back to the caller's graph, ``best`` the
+    incumbent (heuristic or caller-seeded), ``order`` the processing
+    order over the ``|C*|``-core.
+    """
+    pos_bits = working.pos_adjacency_bits()
+    neg_bits = working.neg_adjacency_bits()
+    tasks = plan_tasks(pos_bits, neg_bits, order)
+    if stats is not None:
+        stats.vertices_examined += len(tasks)
+
+    # Pre-dispatch bound against the initial incumbent; workers re-check
+    # against the live one before doing any real work.
+    required = max(best.size + 1, 2 * tau)
+    viable = [t for t in cost_ordered(tasks)
+              if is_viable(t, required, tau)]
+    if not viable:
+        return best
+
+    incumbent = SharedIncumbent(
+        best.size,
+        multiprocessing.get_context(preferred_start_method())
+        if preferred_start_method() is not None else None)
+    ctx_obj = WorkerContext(
+        pos_bits, neg_bits, working.num_vertices, tau, order, incumbent,
+        use_core=use_core, use_coloring=use_coloring,
+        want_stats=stats is not None)
+    chunks = chunk_vertices([t.u for t in viable], workers)
+
+    pool = None
+    if (workers > 1 and len(viable) >= MIN_POOL_TASKS
+            and estimated_work(viable) >= MIN_POOL_WORK):
+        pool = _make_pool(workers, ctx_obj)
+    try:
+        best_witness = None
+        best_size = best.size
+        for witness, chunk_stats, _examined, _skipped in _run_chunks(
+                pool, run_mdc_chunk, chunks, ctx_obj):
+            if chunk_stats is not None and stats is not None:
+                stats.merge(chunk_stats)
+            if witness is not None:
+                u, members = witness
+                size = len(members) + 1
+                if size > best_size:
+                    best_size = size
+                    best_witness = witness
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+        install_context(None)
+
+    if best_witness is None:
+        return best
+    u, members = best_witness
+    left = {mapping[u]}
+    right: set[int] = set()
+    for vertex, is_left in members:
+        if is_left:
+            left.add(mapping[vertex])
+        else:
+            right.add(mapping[vertex])
+    return BalancedClique.from_sides(left, right)
+
+
+def pf_round_fanout(
+    working,
+    mapping: list[int],
+    order: list[int],
+    pn: "dict[int, int] | None",
+    tau_star: int,
+    witness: BalancedClique,
+    workers: int,
+    stats: SearchStats | None = None,
+) -> tuple[int, BalancedClique]:
+    """Run PF*'s DCC sweep as rounds of parallel +1 questions.
+
+    The serial sweep threads ``tau*`` through the loop, so it cannot be
+    scattered as-is.  Instead the fan-out iterates *rounds*: every
+    pending vertex is asked the ``(tau*, tau* + 1)`` question at the
+    round's bar (or the live shared bar, whichever is higher); a vertex
+    that fails at bar ``b`` has ``gamma(g_u) <= b`` and is dropped for
+    good, while successes raise ``tau*`` and stay pending.  The
+    fixpoint is exactly ``beta(G) = max_u gamma(g_u)``, independent of
+    scheduling — each round needs only monotone bars, which the shared
+    incumbent guarantees.
+    """
+    pos_bits = working.pos_adjacency_bits()
+    neg_bits = working.neg_adjacency_bits()
+    method = preferred_start_method()
+    incumbent = SharedIncumbent(
+        tau_star,
+        multiprocessing.get_context(method) if method is not None
+        else None)
+    ctx_obj = WorkerContext(
+        pos_bits, neg_bits, working.num_vertices, 0, order, incumbent,
+        want_stats=stats is not None)
+
+    pending = [u for u in reversed(order)]
+    pool = None
+    if workers > 1 and len(pending) >= MIN_POOL_TASKS:
+        pool = _make_pool(workers, ctx_obj)
+    try:
+        while True:
+            # Lemma 5: pn(u) bounds gamma(g_u); once the bar passes it,
+            # the vertex can never answer a +1 question positively.
+            if pn is not None:
+                pending = [u for u in pending if pn[u] > tau_star]
+            if not pending:
+                break
+            if stats is not None:
+                stats.vertices_examined += len(pending)
+            chunks = [(tau_star, chunk)
+                      for chunk in chunk_vertices(pending, workers)]
+            round_successes: list[tuple[int, int, list]] = []
+            for successes, chunk_stats, _examined in _run_chunks(
+                    pool, run_dcc_chunk, chunks, ctx_obj):
+                if chunk_stats is not None and stats is not None:
+                    stats.merge(chunk_stats)
+                round_successes.extend(successes)
+            if not round_successes:
+                break
+            new_tau = max(bar + 1 for _u, bar, _m in round_successes)
+            # Deterministic witness: among the successes proving the
+            # new bar, keep the earliest vertex in dispatch order.
+            position = {u: i for i, u in enumerate(pending)}
+            top = min(
+                (s for s in round_successes if s[1] + 1 == new_tau),
+                key=lambda s: position[s[0]])
+            u, _bar, members = top
+            left = {mapping[u]}
+            right: set[int] = set()
+            for vertex, is_left in members:
+                if is_left:
+                    left.add(mapping[vertex])
+                else:
+                    right.add(mapping[vertex])
+            witness = BalancedClique.from_sides(left, right)
+            tau_star = new_tau
+            incumbent.improve(tau_star)
+            survivors = {s[0] for s in round_successes}
+            pending = [u for u in pending if u in survivors]
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+        install_context(None)
+    return tau_star, witness

@@ -1,0 +1,87 @@
+"""Shared incumbent — the cross-worker lower bound.
+
+The pruning power of every bound in the ego-network sweep (the global
+``|C*|``-core, the per-instance core reduction, the colouring bound and
+MDC's ``must_exceed`` bar) scales with the best clique size known *so
+far*.  Serially that incumbent tightens as the sweep progresses; under
+the fan-out engine it must tighten across processes, or each worker
+would search against the stale initial bound.
+
+:class:`SharedIncumbent` wraps a ``multiprocessing.Value`` (a single
+lock-protected 64-bit integer in shared memory) behind a monotone
+max-register interface: ``improve`` only ever raises the stored value,
+so readers can act on a possibly-stale value without any correctness
+risk — a stale bound is merely *looser*, never wrong.  Workers read the
+register once per task (one lock round-trip, trivially amortized by
+task cost) and publish immediately on improvement, so every worker's
+bounds tighten as soon as any worker finds a better clique.
+
+When multiprocessing primitives are unavailable (or the engine runs the
+task plan in-process), :class:`SharedIncumbent` degrades to a plain
+instance attribute with the same interface.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SharedIncumbent"]
+
+
+class SharedIncumbent:
+    """Monotone shared max-register for the best solution value.
+
+    Parameters
+    ----------
+    initial:
+        Starting value (e.g. the heuristic clique size, or PF*'s
+        heuristic ``tau*``).
+    ctx:
+        A ``multiprocessing`` context; when ``None`` the register is a
+        process-local attribute (the in-process fallback path).
+    """
+
+    def __init__(self, initial: int, ctx=None):
+        if ctx is None:
+            self._value = None
+            self._local = initial
+        else:
+            self._value = ctx.Value("q", initial)
+            self._local = initial
+
+    @classmethod
+    def from_value(cls, value) -> "SharedIncumbent":
+        """Rewrap a ``multiprocessing.Value`` received by a spawned
+        worker through the pool initializer."""
+        incumbent = cls.__new__(cls)
+        incumbent._value = value
+        incumbent._local = 0
+        return incumbent
+
+    @property
+    def shared(self) -> bool:
+        """Whether the register lives in shared memory."""
+        return self._value is not None
+
+    def get(self) -> int:
+        """Current value (may be stale by the time the caller acts —
+        safe, because the register only grows)."""
+        if self._value is None:
+            return self._local
+        return self._value.value
+
+    def improve(self, value: int) -> bool:
+        """Raise the register to ``value`` if larger.
+
+        Returns True when ``value`` actually improved the register —
+        i.e. no other worker published something at least as good
+        first.
+        """
+        if self._value is None:
+            if value > self._local:
+                self._local = value
+                return True
+            return False
+        with self._value.get_lock():
+            if value > self._value.value:
+                self._value.value = value
+                return True
+            return False

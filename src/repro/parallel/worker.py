@@ -1,0 +1,259 @@
+"""Worker-side execution of ego-network tasks.
+
+Each pool worker holds one :class:`WorkerContext` — the reduced graph
+as two adjacency-mask lists, the processing order, the constraint and
+the shared incumbent — installed once at pool start:
+
+* under ``fork`` the parent stores the context in the module global
+  :data:`_CTX` *before* creating the pool, and the children inherit it
+  through the address space copy (zero serialization);
+* under ``spawn`` the parent ships :meth:`WorkerContext.pack` — the
+  masks flattened to two fixed-stride byte blobs
+  (:func:`repro.kernels.bitset.masks_to_bytes`) — through the pool
+  initializer, and each child rebuilds the context once.
+
+Chunks then carry only vertex ids; the per-task allowed masks are
+rebuilt worker-side from the shipped order
+(:func:`repro.parallel.tasks.suffix_masks`).
+
+The per-task body of :func:`run_mdc_chunk` mirrors the serial bitset
+sweep of :func:`repro.core.mbc_star.mbc_star` line for line (cheap
+candidate bound, network build, core reduction, colouring bound, MDC)
+with one difference: the bar is read from the shared incumbent at task
+start, so any worker's improvement tightens every later task in every
+process.  :func:`run_dcc_chunk` is the PF* analogue: one DCC
+feasibility question per vertex at the round's (or the live shared)
+``tau*`` bar.
+"""
+
+from __future__ import annotations
+
+from ..core.stats import SearchStats
+from ..dichromatic.build import dichromatic_network_from_masks, \
+    ego_edge_count_from_masks
+from ..dichromatic.dcc import dichromatic_clique_witness
+from ..dichromatic.mdc import solve_mdc
+from ..kernels.active import (
+    active_edge_count_mask,
+    bicore_active_mask,
+    coloring_upper_bound_active_mask,
+    k_core_active_mask,
+)
+from ..kernels.bitset import masks_from_bytes, masks_to_bytes
+from .incumbent import SharedIncumbent
+from .tasks import suffix_masks
+
+__all__ = [
+    "WorkerContext",
+    "install_context",
+    "init_spawned_worker",
+    "run_mdc_chunk",
+    "run_dcc_chunk",
+]
+
+#: The per-process context (set by fork inheritance or the spawn
+#: initializer).  One solve at a time per pool.
+_CTX: "WorkerContext | None" = None
+
+
+class WorkerContext:
+    """Everything a worker needs for one solve, shipped at pool start."""
+
+    def __init__(
+        self,
+        pos_bits: list[int],
+        neg_bits: list[int],
+        n: int,
+        tau: int,
+        order: list[int],
+        incumbent: SharedIncumbent,
+        use_core: bool = True,
+        use_coloring: bool = True,
+        want_stats: bool = False,
+    ):
+        self.pos_bits = pos_bits
+        self.neg_bits = neg_bits
+        self.n = n
+        self.tau = tau
+        self.order = order
+        self.incumbent = incumbent
+        self.use_core = use_core
+        self.use_coloring = use_coloring
+        self.want_stats = want_stats
+        self._allowed: dict[int, int] | None = None
+
+    def allowed(self, u: int) -> int:
+        """Higher-ranked mask of ``u``, from the lazily-built suffix
+        table (one pass over ``order`` per worker per solve)."""
+        if self._allowed is None:
+            self._allowed = suffix_masks(self.order)
+        return self._allowed[u]
+
+    def pack(self) -> tuple:
+        """Compact picklable form for ``spawn`` pools.
+
+        The mask lists dominate the payload; as byte blobs they pickle
+        as two opaque buffers instead of ``2n`` big-int reductions.
+        The incumbent's ``multiprocessing.Value`` travels separately —
+        it carries its own shared-memory reduction.
+        """
+        return (
+            masks_to_bytes(self.pos_bits, self.n),
+            masks_to_bytes(self.neg_bits, self.n),
+            self.n, self.tau, self.order,
+            self.use_core, self.use_coloring, self.want_stats,
+        )
+
+    @classmethod
+    def unpack(cls, packed: tuple,
+               incumbent: SharedIncumbent) -> "WorkerContext":
+        pos_blob, neg_blob, n, tau, order, use_core, use_coloring, \
+            want_stats = packed
+        return cls(
+            masks_from_bytes(pos_blob, n), masks_from_bytes(neg_blob, n),
+            n, tau, order, incumbent,
+            use_core=use_core, use_coloring=use_coloring,
+            want_stats=want_stats)
+
+
+def install_context(ctx: "WorkerContext | None") -> None:
+    """Set the process-local context (fork path and in-process path)."""
+    global _CTX
+    _CTX = ctx
+
+
+def init_spawned_worker(packed: tuple, value) -> None:
+    """Pool initializer for ``spawn`` contexts."""
+    incumbent = SharedIncumbent.from_value(value)
+    install_context(WorkerContext.unpack(packed, incumbent))
+
+
+def run_mdc_chunk(chunk: list[int]) -> tuple:
+    """Solve the MDC instances of ``chunk`` against the live incumbent.
+
+    Returns ``(witness, stats, examined, skipped)`` where ``witness``
+    is ``(u, members)`` for the best clique found in this chunk
+    (``members`` are ``(vertex, is_left)`` pairs in reduced-graph ids,
+    excluding the anchor ``u``) or ``None``; ``stats`` is the chunk's
+    :class:`SearchStats` delta (``None`` unless requested); and
+    ``examined`` / ``skipped`` count processed tasks and pre-bound
+    skips for the dispatch report.
+    """
+    ctx = _CTX
+    assert ctx is not None, "worker context not installed"
+    pos_bits, neg_bits, tau = ctx.pos_bits, ctx.neg_bits, ctx.tau
+    incumbent = ctx.incumbent
+    stats = SearchStats() if ctx.want_stats else None
+    best_witness = None
+    best_size = 0
+    skipped = 0
+
+    for u in chunk:
+        # The bar, refreshed once per task from the shared register: a
+        # stale read only loosens the bound, never breaks correctness.
+        required = max(incumbent.get() + 1, 2 * tau)
+        allowed = ctx.allowed(u)
+        pos_count = (pos_bits[u] & allowed).bit_count()
+        neg_count = (neg_bits[u] & allowed).bit_count()
+        if (pos_count + neg_count + 1 < required
+                or pos_count < tau - 1 or neg_count < tau):
+            skipped += 1
+            continue
+        network = dichromatic_network_from_masks(
+            pos_bits, neg_bits, u, allowed)
+        if network.num_vertices + 1 < required:
+            continue
+        adj_bits = network.adjacency_bits()
+        active_mask = network.all_bits()
+        if ctx.use_core:
+            active_mask = k_core_active_mask(
+                adj_bits, required - 2, active_mask)
+        if active_mask.bit_count() + 1 < required:
+            continue
+        if ctx.use_coloring:
+            bound = coloring_upper_bound_active_mask(
+                adj_bits, active_mask)
+            if bound < required - 1:
+                continue
+        if stats is not None:
+            stats.instances += 1
+            ego_edges = ego_edge_count_from_masks(
+                pos_bits, neg_bits, u, allowed)
+            reduced_edges = active_edge_count_mask(
+                adj_bits, active_mask)
+            stats.record_reduction(
+                ego_edges, network.num_edges, reduced_edges)
+        found = solve_mdc(
+            network, tau - 1, tau,
+            must_exceed=required - 2,
+            stats=stats,
+            engine="bitset",
+            use_coloring=ctx.use_coloring,
+            use_core=ctx.use_core,
+            active_mask=active_mask)
+        if found is None:
+            continue
+        size = len(found) + 1
+        incumbent.improve(size)
+        if size > best_size:
+            best_size = size
+            best_witness = (u, [
+                (network.origin[v], network.is_left[v]) for v in found])
+
+    return best_witness, stats, len(chunk), skipped
+
+
+def run_dcc_chunk(args: tuple) -> tuple:
+    """PF* round worker: one +1 feasibility question per vertex.
+
+    ``args`` is ``(bar, chunk)`` — the round's ``tau*`` and the vertex
+    ids to check.  Each check runs at ``max(bar, incumbent)`` so that
+    successes elsewhere in the round tighten later questions; a success
+    at bar ``b`` proves a clique with polarization ``b + 1`` and is
+    published as such.  Returns ``(successes, stats, examined)`` with
+    ``successes`` a list of ``(u, bar_used, members)``.
+    """
+    ctx = _CTX
+    assert ctx is not None, "worker context not installed"
+    bar, chunk = args
+    pos_bits, neg_bits = ctx.pos_bits, ctx.neg_bits
+    incumbent = ctx.incumbent
+    stats = SearchStats() if ctx.want_stats else None
+    successes = []
+
+    for u in chunk:
+        bar_used = max(bar, incumbent.get())
+        allowed = ctx.allowed(u)
+        # Cheap candidate bound first: the witness needs bar_used
+        # positive and bar_used + 1 negative candidates besides u.
+        if ((pos_bits[u] & allowed).bit_count() < bar_used
+                or (neg_bits[u] & allowed).bit_count() < bar_used + 1):
+            continue
+        network = dichromatic_network_from_masks(
+            pos_bits, neg_bits, u, allowed)
+        adj_bits = network.adjacency_bits()
+        left_bits = network.left_bits()
+        active_mask = bicore_active_mask(
+            adj_bits, left_bits, bar_used, bar_used + 1,
+            network.all_bits())
+        left_count = (active_mask & left_bits).bit_count()
+        right_count = active_mask.bit_count() - left_count
+        if left_count < bar_used or right_count < bar_used + 1:
+            continue
+        if stats is not None:
+            stats.instances += 1
+            ego_edges = ego_edge_count_from_masks(
+                pos_bits, neg_bits, u, allowed)
+            reduced = active_edge_count_mask(adj_bits, active_mask)
+            stats.record_reduction(
+                ego_edges, network.num_edges, reduced)
+        found = dichromatic_clique_witness(
+            network, bar_used, bar_used + 1, stats=stats,
+            engine="bitset", active_mask=active_mask)
+        if found is None:
+            continue
+        incumbent.improve(bar_used + 1)
+        successes.append((u, bar_used, [
+            (network.origin[v], network.is_left[v]) for v in found]))
+
+    return successes, stats, len(chunk)

@@ -23,6 +23,13 @@ class TestParser:
         args = build_parser().parse_args(["mbc", "g.txt"])
         assert args.tau == 3
         assert args.algorithm == "star"
+        assert args.workers == 1
+
+    def test_workers_flag(self):
+        for command in ("mbc", "pf", "gmbc"):
+            args = build_parser().parse_args(
+                [command, "g.txt", "--workers", "4"])
+            assert args.workers == 4
 
     def test_generate_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):
@@ -67,6 +74,15 @@ class TestCommands:
 
     def test_gmbc_naive(self, graph_file, capsys):
         assert main(["gmbc", graph_file, "--algorithm", "naive"]) == 0
+        assert "tau=  3" in capsys.readouterr().out
+
+    def test_workers_same_answers(self, graph_file, capsys):
+        assert main(["mbc", graph_file, "--tau", "3",
+                     "--workers", "2"]) == 0
+        assert "|C|=6" in capsys.readouterr().out
+        assert main(["pf", graph_file, "--workers", "2"]) == 0
+        assert "beta(G) = 3" in capsys.readouterr().out
+        assert main(["gmbc", graph_file, "--workers", "2"]) == 0
         assert "tau=  3" in capsys.readouterr().out
 
     def test_stats(self, graph_file, capsys):

@@ -138,6 +138,53 @@ class TestGmbcDifferential:
             assert_valid(clique, graph, tau)
 
 
+class TestWorkerMatrix:
+    """(engine x workers) differential matrix for the fan-out engine.
+
+    workers=1 is the serial sweep; 2 and 4 fan out (in-process below
+    ``MIN_POOL_TASKS``, real pools above it — both code paths are
+    covered because the random graphs straddle the threshold).  All
+    cells must report identical optimum sizes with structurally valid
+    witnesses.
+    """
+
+    WORKERS = [1, 2, 4]
+
+    @pytest.mark.parametrize("seed", range(0, 24, 3))
+    def test_mbc_star_same_optimum(self, seed):
+        graph = random_signed_graph(seed)
+        tau = seed % 4
+        reference = mbc_star(graph, tau, engine="set")
+        for workers in self.WORKERS:
+            clique = mbc_star(graph, tau, engine="bitset",
+                              parallel=workers)
+            assert clique.size == reference.size
+            assert_valid(clique, graph, tau)
+
+    @pytest.mark.parametrize("seed", range(1, 24, 5))
+    def test_pf_star_same_factor(self, seed):
+        graph = random_signed_graph(seed)
+        reference = pf_star(graph, engine="set")
+        for workers in self.WORKERS:
+            beta, witness = pf_star(graph, engine="bitset",
+                                    parallel=workers,
+                                    return_witness=True)
+            assert beta == reference
+            assert_valid(witness, graph, 0)
+            assert witness.polarization >= beta
+
+    @pytest.mark.parametrize("seed", [4, 13])
+    def test_gmbc_star_same_profile(self, seed):
+        graph = random_signed_graph(seed)
+        reference = [c.size for c in gmbc_star(graph, engine="set")]
+        for workers in self.WORKERS:
+            results = gmbc_star(graph, engine="bitset",
+                                parallel=workers)
+            assert [c.size for c in results] == reference
+            for tau, clique in enumerate(results):
+                assert_valid(clique, graph, tau)
+
+
 class TestEdgeReductionDifferential:
     @pytest.mark.parametrize("seed", range(25))
     def test_same_fixpoint(self, seed):

@@ -38,3 +38,36 @@ class TestSearchStats:
         assert a.instances == 5
         assert a.nodes == 17
         assert len(a.sr1_samples) == 2
+
+    def test_merge_keeps_max_heuristic_and_chains(self):
+        a = SearchStats(heuristic_size=6)
+        b = SearchStats(heuristic_size=4, vertices_examined=3)
+        c = SearchStats(heuristic_size=9, vertices_examined=2)
+        result = a.merge(b).merge(c)
+        assert result is a
+        assert a.heuristic_size == 9
+        assert a.vertices_examined == 5
+
+    def test_merged_folds_worker_reports(self):
+        runs = []
+        for i in range(4):
+            run = SearchStats(instances=i, nodes=i * 10)
+            run.record_reduction(100, 100 - i, 90 - i)
+            runs.append(run)
+        total = SearchStats.merged(runs)
+        assert total.instances == sum(range(4))
+        assert total.nodes == sum(i * 10 for i in range(4))
+        assert len(total.sr1_samples) == 4
+        assert SearchStats.merged([]).instances == 0
+
+    def test_merge_on_identity_doubles(self):
+        # Guard against aliasing: merging a stats object into a fresh
+        # accumulator must not mutate the source's sample lists.
+        source = SearchStats(instances=1)
+        source.record_reduction(10, 5, 5)
+        total = SearchStats()
+        total.merge(source)
+        total.merge(source)
+        assert total.instances == 2
+        assert len(total.sr1_samples) == 2
+        assert len(source.sr1_samples) == 1
