@@ -1,0 +1,79 @@
+"""Finding — one reported violation of a repo invariant.
+
+A finding pins a rule violation to an exact source location so the
+text reporter can print clickable ``path:line:col`` references and the
+JSON reporter can feed CI annotations.  Findings are value objects:
+the engine produces them, filters the pragma-suppressed ones out, and
+hands the survivors to a reporter — nothing downstream mutates them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "SEVERITIES", "SYNTAX_ERROR_ID"]
+
+#: Recognised severity labels, strongest first.  Every severity fails
+#: the lint gate; the label only affects presentation.
+SEVERITIES = ("error", "warning")
+
+#: Pseudo rule id used for files the engine cannot parse at all.
+SYNTAX_ERROR_ID = "E999"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    The field order doubles as the report sort order: path, then line,
+    then column, then rule id — i.e. file-by-file in reading order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: str = field(default="error")
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {SEVERITIES}")
+
+    @classmethod
+    def at_node(
+        cls,
+        path: str,
+        node: ast.AST,
+        rule_id: str,
+        message: str,
+        severity: str = "error",
+    ) -> "Finding":
+        """Finding anchored at an AST node's location."""
+        return cls(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+            severity=severity,
+        )
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}")
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (schema asserted by the reporter tests)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "severity": self.severity,
+        }

@@ -1,0 +1,75 @@
+"""Per-line suppression pragmas.
+
+A finding on a line carrying a suppression pragma is dropped by the
+engine.  Two forms are recognised, mirroring flake8's ``noqa`` but
+namespaced so generic tooling never collides with it:
+
+``# repro: noqa R001`` / ``# repro: noqa R001,R005``
+    suppress the listed rule ids on this line;
+
+omitting the code list suppresses *every* rule on the line.  The repo
+itself never uses the blanket form (the self-check test suite rejects
+it) so each committed exception stays auditable.
+
+The pragma must appear in a comment on the *reported* line.  By repo
+convention every pragma carries a one-line justification in the same
+comment or the line above — the linter cannot check prose, but the
+self-check test suite greps for bare pragmas in review.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SuppressionTable", "parse_pragmas", "PRAGMA_RE"]
+
+#: The pragma marker with an optional rule-id list.  The id list may
+#: be separated by commas and/or spaces; ids are letter+3 digits.
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?::?\s+(?P<codes>[A-Z]\d{3}(?:[\s,]+[A-Z]\d{3})*))?")
+
+_CODE_RE = re.compile(r"[A-Z]\d{3}")
+
+
+class SuppressionTable:
+    """Which rule ids are suppressed on which physical lines."""
+
+    def __init__(self, blanket: frozenset[int],
+                 by_rule: dict[int, frozenset[str]]) -> None:
+        self._blanket = blanket
+        self._by_rule = by_rule
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether a finding of ``rule_id`` on ``line`` is silenced."""
+        if line in self._blanket:
+            return True
+        return rule_id in self._by_rule.get(line, frozenset())
+
+    @property
+    def lines(self) -> frozenset[int]:
+        """Every line carrying any pragma (used by reporters/tests)."""
+        return self._blanket | frozenset(self._by_rule)
+
+
+def parse_pragmas(source: str) -> SuppressionTable:
+    """Scan source text for suppression pragmas, line by line.
+
+    Line numbers are 1-based to match AST ``lineno``.  A pragma inside
+    a string literal is treated as live — the cost of a rare false
+    suppression is lower than the cost of tokenizing every file twice.
+    """
+    blanket: set[int] = set()
+    by_rule: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "repro:" not in text:
+            continue
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            blanket.add(lineno)
+        else:
+            by_rule[lineno] = frozenset(_CODE_RE.findall(codes))
+    return SuppressionTable(frozenset(blanket), by_rule)

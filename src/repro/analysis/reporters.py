@@ -1,0 +1,52 @@
+"""Finding reporters: human text and machine JSON.
+
+Both take the same sorted finding list the engine produces.  The JSON
+schema is versioned and locked by ``tests/test_analysis.py`` — CI
+consumes it, so additive changes only, and any field change bumps
+``JSON_SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .findings import Finding
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding],
+                files_checked: int | None = None) -> str:
+    """One ``path:line:col: RXXX message`` line per finding + summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        counts = Counter(f.rule_id for f in findings)
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(counts.items()))
+        lines.append(
+            f"{len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} ({breakdown})")
+    else:
+        checked = (f" in {files_checked} file"
+                   f"{'s' if files_checked != 1 else ''}"
+                   if files_checked is not None else "")
+        lines.append(f"no findings{checked}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                files_checked: int | None = None) -> str:
+    """Stable JSON document for CI: version, findings, counts."""
+    counts = Counter(f.rule_id for f in findings)
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+        "files_checked": files_checked,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,40 @@
+"""The rule catalogue.
+
+One module per rule; ``ALL_RULES`` is the registry the engine and CLI
+resolve against.  To add a rule: subclass
+:class:`repro.analysis.engine.Rule` in a new ``rXXX_*.py`` module,
+instantiate it here, and document it in ``docs/STATIC_ANALYSIS.md``
+(the doc's catalogue is asserted against this registry by the tests).
+"""
+
+from .r001_mask_discipline import MaskDisciplineRule
+from .r002_determinism import DeterministicIterationRule
+from .r003_worker_hygiene import WorkerHygieneRule
+from .r004_graph_mutation import GraphArgumentMutationRule
+from .r005_public_api import PublicApiRule
+from .r006_layering import ImportLayeringRule
+from .r007_annotations import AnnotationCompletenessRule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "MaskDisciplineRule",
+    "DeterministicIterationRule",
+    "WorkerHygieneRule",
+    "GraphArgumentMutationRule",
+    "PublicApiRule",
+    "ImportLayeringRule",
+    "AnnotationCompletenessRule",
+]
+
+ALL_RULES = (
+    MaskDisciplineRule(),
+    DeterministicIterationRule(),
+    WorkerHygieneRule(),
+    GraphArgumentMutationRule(),
+    PublicApiRule(),
+    ImportLayeringRule(),
+    AnnotationCompletenessRule(),
+)
+
+RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

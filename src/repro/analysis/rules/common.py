@@ -1,0 +1,138 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "GRAPH_TYPE_NAMES",
+    "annotation_name",
+    "call_name",
+    "is_constant_expr",
+    "is_type_checking_test",
+    "iter_scoped_nodes",
+    "walk_module_statements",
+]
+
+#: The three graph substrates of the solver stack.
+GRAPH_TYPE_NAMES = frozenset(
+    {"SignedGraph", "DichromaticGraph", "UnsignedGraph"})
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The bare callee name of ``name(...)`` calls, else ``None``."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def annotation_name(annotation: ast.expr | None) -> str | None:
+    """Terminal identifier of a parameter annotation.
+
+    Handles ``SignedGraph``, ``pkg.SignedGraph``, string annotations
+    like ``"SignedGraph | None"`` (first identifier wins) and
+    ``Optional[SignedGraph]`` — good enough to recognise graph-typed
+    parameters without a type checker.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        text = annotation.value
+        for token in text.replace("[", " ").replace("]", " ") \
+                .replace("|", " ").replace(",", " ").split():
+            if token.isidentifier() and token not in ("Optional", "None"):
+                return token.rpartition(".")[2]
+        return None
+    if isinstance(annotation, ast.Subscript):
+        return annotation_name(annotation.value)
+    if isinstance(annotation, ast.BinOp) and \
+            isinstance(annotation.op, ast.BitOr):
+        return annotation_name(annotation.left) or \
+            annotation_name(annotation.right)
+    return None
+
+
+def is_constant_expr(node: ast.expr) -> bool:
+    """Whether an expression is a compile-time constant.
+
+    Used by R003 to allow module-level constants (ints, strings,
+    ``None``, tuples/lists/dicts of constants, negated numbers) while
+    rejecting module-level *state* (graphs, pools, mutable caches built
+    by calls).
+    """
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and \
+            isinstance(node.op, (ast.USub, ast.UAdd)):
+        return is_constant_expr(node.operand)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(is_constant_expr(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(k is not None and is_constant_expr(k)
+                   for k in node.keys) and \
+            all(is_constant_expr(v) for v in node.values)
+    return False
+
+
+def is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` test is the ``TYPE_CHECKING`` guard."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def walk_module_statements(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.stmt, bool]]:
+    """Module-scope statements, descending into if/try/with/loop blocks.
+
+    Yields ``(statement, in_type_checking)`` pairs.  Function and class
+    bodies are *not* entered — their statements bind local/class names,
+    not module names.
+    """
+
+    def visit(stmts: list[ast.stmt],
+              guarded: bool) -> Iterator[tuple[ast.stmt, bool]]:
+        for stmt in stmts:
+            yield stmt, guarded
+            if isinstance(stmt, ast.If):
+                inner = guarded or is_type_checking_test(stmt.test)
+                yield from visit(stmt.body, inner)
+                yield from visit(stmt.orelse, guarded)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                yield from visit(stmt.body, guarded)
+                yield from visit(stmt.orelse, guarded)
+            elif isinstance(stmt, ast.With):
+                yield from visit(stmt.body, guarded)
+            elif isinstance(stmt, ast.Try):
+                yield from visit(stmt.body, guarded)
+                for handler in stmt.handlers:
+                    yield from visit(handler.body, guarded)
+                yield from visit(stmt.orelse, guarded)
+                yield from visit(stmt.finalbody, guarded)
+
+    yield from visit(tree.body, False)
+
+
+def iter_scoped_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` minus nested function/class bodies.
+
+    Walks every node that executes in ``root``'s own scope; a nested
+    ``def``/``class``/``lambda`` is yielded itself but not entered.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,114 @@
+"""R001 — mask discipline in the bitset hot path.
+
+The bitset engine's entire speed advantage rests on every per-node
+operation staying on machine-word int masks (see
+``docs/ALGORITHMS.md``, "Engine architecture").  A stray ``set()``
+round-trip inside a kernel or a bitset branch silently reintroduces
+the per-element Python-object costs the engine exists to avoid — and
+the differential tests cannot catch it because the *result* stays
+correct, only 2-10x slower.
+
+Scope: every module of ``repro.kernels``, plus the bitset scopes of
+the dichromatic engines (``repro.dichromatic.mdc`` / ``dcc``): class
+bodies whose name contains ``Bitset`` and functions whose name carries
+a ``_mask`` / ``_bits`` / ``bits_`` marker.  The engine-dispatch
+wrappers that *convert* between the set API and masks live outside
+those scopes on purpose.
+
+Flagged: set literals, set comprehensions, ``set(...)`` /
+``frozenset(...)`` constructor calls, and calls of set-specific
+methods (``.add``, ``.discard``, ``.intersection`` ...).  Intentional
+boundary materialisations (e.g. packaging a found clique as a ``set``
+for the caller) carry ``# repro: noqa R001`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+from .common import call_name, iter_scoped_nodes
+
+__all__ = ["MaskDisciplineRule"]
+
+#: Methods that exist (with these semantics) only on sets — calling
+#: one inside a bitset scope means a set object slipped in.
+SET_METHODS = frozenset({
+    "add", "discard", "intersection", "union", "difference",
+    "symmetric_difference", "intersection_update", "difference_update",
+    "symmetric_difference_update", "issubset", "issuperset",
+    "isdisjoint",
+})
+
+#: Dichromatic-engine modules whose *bitset scopes* are in scope.
+MIXED_MODULES = frozenset(
+    {"repro.dichromatic.mdc", "repro.dichromatic.dcc"})
+
+#: Function-name markers that place a function in a bitset scope.
+_MASK_MARKERS = ("_mask", "_bits", "bits_", "mask_")
+
+
+def _is_bitset_scope_name(name: str) -> bool:
+    lowered = name.lower()
+    return "bitset" in lowered or any(
+        marker in lowered for marker in _MASK_MARKERS)
+
+
+class MaskDisciplineRule(Rule):
+    rule_id = "R001"
+    title = "no Python-set vertex operations in the bitset hot path"
+    rationale = (
+        "kernels and bitset branches must stay on int masks; a set "
+        "fallback keeps results correct but forfeits the engine's "
+        "2-10x speedup, invisibly to the differential tests")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package == "repro.kernels" or \
+            module.module in MIXED_MODULES
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        whole_module = module.package == "repro.kernels"
+        if whole_module:
+            yield from self._check_scope(module, module.tree,
+                                         deep=True)
+            return
+        # Mixed modules: only class/function bodies marked as bitset.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and \
+                    "bitset" in node.name.lower():
+                yield from self._check_scope(module, node, deep=True)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)) and \
+                    _is_bitset_scope_name(node.name):
+                yield from self._check_scope(module, node, deep=True)
+
+    def _check_scope(self, module: ModuleInfo, root: ast.AST,
+                     deep: bool = False) -> Iterator[Finding]:
+        nodes = ast.walk(root) if deep else iter_scoped_nodes(root)
+        for node in nodes:
+            if isinstance(node, ast.Set):
+                yield self.finding(
+                    module, node,
+                    "set literal in a bitset scope — build an int "
+                    "mask (repro.kernels.bitset.mask_of) instead")
+            elif isinstance(node, ast.SetComp):
+                yield self.finding(
+                    module, node,
+                    "set comprehension in a bitset scope — fold into "
+                    "a mask with bit ops instead")
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in ("set", "frozenset"):
+                    yield self.finding(
+                        module, node,
+                        f"{name}() constructed in a bitset scope — "
+                        "stay on int masks (or pragma the boundary "
+                        "materialisation)")
+                elif isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in SET_METHODS:
+                    yield self.finding(
+                        module, node,
+                        f".{node.func.attr}() set operation in a "
+                        "bitset scope — use mask bit ops instead")

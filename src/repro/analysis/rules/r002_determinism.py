@@ -1,0 +1,111 @@
+"""R002 — deterministic iteration in result-producing modules.
+
+The repo's contract (DESIGN.md §5, "Key algorithmic invariants") is
+that every user-visible result — cliques, converted graphs, baseline
+communities — is identical across runs and across
+``PYTHONHASHSEED`` values.  Iterating a ``set`` (hash order) while
+*building* a result breaks that silently: the optimum stays optimal,
+but tie-broken witnesses, edge insertion orders and downstream
+orderings drift between runs, which poisons differential tests and
+makes benchmark diffs unreadable.
+
+Scope: the result-producing modules — ``repro.core.*``,
+``repro.baselines.*`` and ``repro.signed.ratings`` (the rating-network
+converter whose output *is* a graph).
+
+Flagged: ``for`` statements and comprehension clauses whose iterable
+is set-producing — a set literal / comprehension, ``set(...)`` /
+``frozenset(...)`` call, or a union/intersection/difference chain of
+such — plus explicit ``dict.keys()`` iteration (iterate the dict, or
+``sorted()`` it when insertion order itself is unordered).  Wrapping
+the expression in ``sorted()`` is the fix and the exemption; the
+transparent wrappers ``list`` / ``tuple`` / ``enumerate`` /
+``reversed`` are seen through rather than trusted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+from .common import call_name
+
+__all__ = ["DeterministicIterationRule"]
+
+#: Packages whose modules produce user-visible results.
+TARGET_PACKAGES = frozenset({"repro.core", "repro.baselines"})
+
+#: Individual modules additionally in scope.
+TARGET_MODULES = frozenset({"repro.signed.ratings"})
+
+#: Wrappers that preserve (non-)determinism of the underlying iterable.
+_TRANSPARENT_WRAPPERS = frozenset(
+    {"list", "tuple", "enumerate", "reversed", "iter"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_producing(node: ast.expr) -> bool:
+    """Whether an expression statically evaluates to a hash-ordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        if name in _TRANSPARENT_WRAPPERS and node.args:
+            return _is_set_producing(node.args[0])
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_producing(node.left) or \
+            _is_set_producing(node.right)
+    return False
+
+
+def _is_keys_call(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Attribute) and \
+            node.func.attr == "keys" and not node.args:
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in _TRANSPARENT_WRAPPERS and node.args:
+            return _is_keys_call(node.args[0])
+    return False
+
+
+class DeterministicIterationRule(Rule):
+    rule_id = "R002"
+    title = "no hash-ordered iteration in result-producing modules"
+    rationale = (
+        "solver output must be identical across runs and "
+        "PYTHONHASHSEED values; iterating a set while building a "
+        "result makes witnesses and edge orders drift silently")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package in TARGET_PACKAGES or \
+            module.module in TARGET_MODULES
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for expr in iters:
+                if _is_set_producing(expr):
+                    yield self.finding(
+                        module, expr,
+                        "iteration over a set expression — wrap it in "
+                        "sorted() so the order survives hash "
+                        "randomisation")
+                elif _is_keys_call(expr):
+                    yield self.finding(
+                        module, expr,
+                        "iteration over .keys() — iterate the dict "
+                        "itself, or sorted(...) if its insertion "
+                        "order is unordered")

@@ -1,0 +1,139 @@
+"""R005 — public-API hygiene: ``__all__`` present, static, and in sync.
+
+Every module of the package declares its public surface with
+``__all__``; package ``__init__`` files re-export the curated API
+from their submodules.  The declaration is only worth anything while
+it stays true, so the rule checks, per module:
+
+* ``__all__`` exists (entry-point ``__main__`` modules and private
+  ``_``-prefixed modules are exempt);
+* it is a *static* list/tuple of string literals (dynamic construction
+  defeats both this check and ``mypy``'s re-export analysis);
+* no duplicate entries;
+* every entry is actually bound at module level (def / class / import
+  / assignment), so a rename cannot silently strand an export;
+* no ``import *`` — it makes the binding set unknowable statically.
+
+Public names *not* listed in ``__all__`` are deliberately not flagged:
+module-level helpers shared between siblings (e.g. the set-engine
+reference kernels) are importable-but-not-exported by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+from .common import walk_module_statements
+
+__all__ = ["PublicApiRule"]
+
+
+def _module_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module scope (including TYPE_CHECKING blocks)."""
+    bound: set[str] = set()
+    for stmt, _guarded in walk_module_statements(tree):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                               ast.For, ast.AsyncFor)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        bound.add(leaf.id)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for leaf in ast.walk(item.optional_vars):
+                        if isinstance(leaf, ast.Name):
+                            bound.add(leaf.id)
+    return bound
+
+
+class PublicApiRule(Rule):
+    rule_id = "R005"
+    title = "__all__ present, static, duplicate-free, and in sync"
+    rationale = (
+        "the curated export list is the package's API contract and "
+        "what mypy's re-export analysis trusts; a stale entry is an "
+        "ImportError waiting in `from repro.x import *` users")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if not super().applies_to(module):
+            return False
+        leaf = module.leaf_name or ""
+        if module.is_package_init:
+            return True
+        return not leaf.startswith("_")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        dunder_all: ast.Assign | ast.AnnAssign | None = None
+        star_imports: list[ast.ImportFrom] = []
+        for stmt, _guarded in walk_module_statements(module.tree):
+            if isinstance(stmt, ast.ImportFrom) and \
+                    any(a.name == "*" for a in stmt.names):
+                star_imports.append(stmt)
+            if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets):
+                dunder_all = stmt
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name) and \
+                    stmt.target.id == "__all__":
+                dunder_all = stmt
+
+        for star in star_imports:
+            yield self.finding(
+                module, star,
+                "star import — makes the module's bindings "
+                "statically unknowable; import names explicitly")
+
+        if dunder_all is None:
+            yield self.finding(
+                module, module.tree.body[0] if module.tree.body
+                else module.tree,
+                "missing __all__ — every public module declares its "
+                "export surface")
+            return
+
+        value = dunder_all.value
+        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in value.elts):
+            yield self.finding(
+                module, dunder_all,
+                "__all__ must be a static list/tuple of string "
+                "literals")
+            return
+
+        names = [e.value for e in value.elts
+                 if isinstance(e, ast.Constant)]
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    module, dunder_all,
+                    f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+
+        if star_imports:
+            return  # bindings unknowable; the star finding suffices
+        bound = _module_level_bindings(module.tree)
+        for name in names:
+            if name not in bound:
+                yield self.finding(
+                    module, dunder_all,
+                    f"__all__ entry {name!r} is not bound at module "
+                    "level — stale export")

@@ -1,0 +1,88 @@
+"""R007 — complete type annotations on every function of the stack.
+
+The strict ``mypy`` gate (``mypy.ini``: ``disallow_untyped_defs`` and
+friends) is what lets refactors move code between the set and bitset
+engines with the type checker watching; but mypy is a CI-side tool
+this environment may not have installed.  R007 is the linter-side
+mirror of that contract: every module-level and class-level function
+in ``repro`` must annotate all parameters and its return type, so
+``repro lint`` catches an untyped def locally before CI's mypy does.
+
+Nested (function-local) helpers are exempt — annotating three-line
+closures is noise and mypy infers them from context — as are lambdas
+and the ``self`` / ``cls`` receivers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+
+__all__ = ["AnnotationCompletenessRule"]
+
+
+def _top_and_class_level_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+    """``(function, is_method)`` for module- and class-level defs."""
+
+    def from_body(body: list[ast.stmt],
+                  in_class: bool) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                yield stmt, in_class
+            elif isinstance(stmt, ast.ClassDef):
+                yield from from_body(stmt.body, True)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # conditional defs (platform fallbacks) still count
+                blocks = [stmt.body, stmt.orelse] if isinstance(
+                    stmt, ast.If) else [stmt.body, stmt.orelse,
+                                        stmt.finalbody]
+                for block in blocks:
+                    yield from from_body(block, in_class)
+
+    yield from from_body(tree.body, False)
+
+
+class AnnotationCompletenessRule(Rule):
+    rule_id = "R007"
+    title = "module- and class-level functions are fully annotated"
+    rationale = (
+        "the strict mypy gate is the refactoring safety net; this "
+        "rule keeps untyped defs from landing when mypy is not "
+        "installed locally")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for fn, is_method in _top_and_class_level_functions(
+                module.tree):
+            args = fn.args
+            ordered = args.posonlyargs + args.args
+            skip_first = bool(
+                is_method and ordered
+                and ordered[0].arg in ("self", "cls")
+                and not any(
+                    isinstance(d, ast.Name) and d.id == "staticmethod"
+                    for d in fn.decorator_list))
+            missing = [
+                a.arg for a in (ordered[1:] if skip_first else ordered)
+                + args.kwonlyargs if a.annotation is None]
+            if args.vararg is not None and \
+                    args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if missing:
+                yield self.finding(
+                    module, fn,
+                    f"{fn.name}() has unannotated parameter"
+                    f"{'s' if len(missing) > 1 else ''}: "
+                    f"{', '.join(missing)}")
+            if fn.returns is None:
+                yield self.finding(
+                    module, fn,
+                    f"{fn.name}() is missing a return annotation")

@@ -34,7 +34,7 @@ class BalancedSubgraph:
     """Result: a vertex set whose induced subgraph is balanced."""
 
     def __init__(self, left: set[int], right: set[int],
-                 edges_kept: int):
+                 edges_kept: int) -> None:
         self.left = left
         self.right = right
         self.edges_kept = edges_kept

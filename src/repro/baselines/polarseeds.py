@@ -36,7 +36,8 @@ __all__ = ["polar_seeds", "good_seed_pairs", "PolarizedCommunity"]
 class PolarizedCommunity:
     """Result of a PolarSeeds run: two opposing vertex groups."""
 
-    def __init__(self, group1: set[int], group2: set[int], score: float):
+    def __init__(self, group1: set[int], group2: set[int],
+                 score: float) -> None:
         self.group1 = group1
         self.group2 = group2
         self.score = score

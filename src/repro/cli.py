@@ -6,7 +6,9 @@ Installed as ``repro`` (also ``python -m repro``).  Subcommands:
 * ``repro pf GRAPH`` — polarization factor;
 * ``repro gmbc GRAPH`` — a maximum balanced clique for every tau;
 * ``repro stats GRAPH`` — dataset statistics (Table I columns);
-* ``repro generate NAME OUT`` — write a stand-in dataset to a file.
+* ``repro generate NAME OUT`` — write a stand-in dataset to a file;
+* ``repro lint [PATHS]`` — the repo-specific invariant linter
+  (see ``docs/STATIC_ANALYSIS.md``).
 
 ``GRAPH`` is either a path to an edge-list file (``u v sign`` lines) or
 ``dataset:NAME`` to use a built-in stand-in (e.g. ``dataset:douban``).
@@ -94,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
         "balance",
         help="global structural balance check (Harary) + frustration")
     balance.add_argument("graph", help="edge-list path or dataset:NAME")
+
+    lint = sub.add_parser(
+        "lint", help="AST invariant linter for the solver stack")
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the versioned JSON report instead of text")
+    lint.add_argument(
+        "--rule", action="append", dest="rule_ids", metavar="RXXX",
+        help="run only this rule (repeatable)")
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
 
     return parser
 
@@ -218,6 +235,25 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint
+    from .analysis.rules import ALL_RULES
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    try:
+        return run_lint(args.paths, rule_ids=args.rule_ids,
+                        as_json=args.as_json)
+    except (OSError, KeyError) as exc:
+        # Usage errors exit 2 (the lint CI contract), distinct from
+        # "findings present" (1) — don't fall through to main()'s
+        # generic handler, which exits 1.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "mbc": _cmd_mbc,
     "pf": _cmd_pf,
@@ -226,6 +262,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "enum": _cmd_enum,
     "balance": _cmd_balance,
+    "lint": _cmd_lint,
 }
 
 

@@ -71,7 +71,7 @@ class _AdvancedSearch:
         initial: BalancedClique,
         stats: SearchStats | None,
         node_limit: int | None,
-    ):
+    ) -> None:
         self.graph = graph
         self.unsigned = unsigned
         self.tau = tau

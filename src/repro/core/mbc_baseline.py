@@ -94,7 +94,7 @@ class _TwoSidedSearch:
         tau: int,
         stats: SearchStats | None,
         node_limit: int | None,
-    ):
+    ) -> None:
         self.graph = graph
         self.tau = tau
         self.stats = stats

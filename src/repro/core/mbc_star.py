@@ -294,14 +294,15 @@ def mbc_star(
     return best
 
 
-def _color_bound(network, active: set[int]) -> int:
+def _color_bound(network: "DichromaticGraph", active: set[int]) -> int:
     """Greedy-colouring clique bound over ``active`` in ``network``."""
     from ..dichromatic.cores import coloring_upper_bound_active
 
     return coloring_upper_bound_active(network, active)
 
 
-def _active_edge_count(network, active: set[int]) -> int:
+def _active_edge_count(network: "DichromaticGraph",
+                       active: set[int]) -> int:
     """Edges of the dichromatic network inside ``active``."""
     return sum(
         len(network.neighbors(v) & active) for v in active) // 2

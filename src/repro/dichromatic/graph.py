@@ -36,7 +36,7 @@ class DichromaticGraph:
         self,
         is_left: Sequence[bool],
         origin: Sequence[int] | None = None,
-    ):
+    ) -> None:
         self.is_left: list[bool] = list(is_left)
         n = len(self.is_left)
         if origin is None:

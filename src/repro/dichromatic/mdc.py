@@ -55,7 +55,7 @@ __all__ = ["solve_mdc", "FeasibleFound"]
 class FeasibleFound(Exception):
     """Raised internally to stop the search in feasibility-check mode."""
 
-    def __init__(self, clique: set[int]):
+    def __init__(self, clique: set[int]) -> None:
         super().__init__("feasible dichromatic clique found")
         self.clique = clique
 
@@ -155,7 +155,7 @@ class _BitsetState:
         graph: DichromaticGraph,
         must_exceed: int,
         stats: "SearchStats | None",
-    ):
+    ) -> None:
         self.adj = graph.adjacency_bits()
         self.left_mask = graph.left_bits()
         self.num_vertices = graph.num_vertices
@@ -178,9 +178,11 @@ class _BitsetState:
             self.stats.nodes += 1
         if tau_l <= 0 and tau_r <= 0:
             if check_only:
-                raise FeasibleFound(set(clique))
+                # Boundary materialisation: the found clique leaves the
+                # engine as a set, per the solve_mdc contract.
+                raise FeasibleFound(set(clique))  # repro: noqa R001
             if len(clique) > self.best_size:
-                self.best = set(clique)
+                self.best = set(clique)  # repro: noqa R001
                 self.best_size = len(clique)
 
         if self.use_core:
@@ -256,7 +258,7 @@ class _State:
         graph: DichromaticGraph,
         must_exceed: int,
         stats: "SearchStats | None",
-    ):
+    ) -> None:
         self.graph = graph
         self.best: set[int] | None = None
         self.best_size = must_exceed

@@ -28,9 +28,14 @@ spin up.
 from __future__ import annotations
 
 import multiprocessing
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from ..core.result import BalancedClique
 from ..core.stats import SearchStats
+from ..signed.graph import SignedGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.pool import Pool
 from .incumbent import SharedIncumbent
 from .tasks import chunk_vertices, cost_ordered, estimated_work, \
     is_viable, plan_tasks
@@ -85,7 +90,7 @@ def preferred_start_method() -> str | None:
     return None  # pragma: no cover - no such CPython platform
 
 
-def _make_pool(workers: int, ctx_obj: WorkerContext):
+def _make_pool(workers: int, ctx_obj: WorkerContext) -> "Pool | None":
     """Create a worker pool with the context shipped, or ``None`` when
     the platform cannot provide one (callers then run in-process)."""
     method = preferred_start_method()
@@ -100,12 +105,17 @@ def _make_pool(workers: int, ctx_obj: WorkerContext):
         return mp_ctx.Pool(
             workers,
             initializer=worker_module.init_spawned_worker,
-            initargs=(ctx_obj.pack(), ctx_obj.incumbent._value))
+            initargs=(ctx_obj.pack(), ctx_obj.incumbent.handle))
     except OSError:  # pragma: no cover - resource exhaustion
         return None
 
 
-def _run_chunks(pool, runner, chunks, ctx_obj: WorkerContext):
+def _run_chunks(
+    pool: "Pool | None",
+    runner: Callable[[Any], Any],
+    chunks: Iterable[Any],
+    ctx_obj: WorkerContext,
+) -> Iterator[Any]:
     """Yield chunk results from the pool, or in-process when absent."""
     if pool is None:
         install_context(ctx_obj)
@@ -116,7 +126,7 @@ def _run_chunks(pool, runner, chunks, ctx_obj: WorkerContext):
 
 
 def mbc_ego_fanout(
-    working,
+    working: SignedGraph,
     mapping: list[int],
     tau: int,
     best: BalancedClique,
@@ -195,7 +205,7 @@ def mbc_ego_fanout(
 
 
 def pf_round_fanout(
-    working,
+    working: SignedGraph,
     mapping: list[int],
     order: list[int],
     pn: "dict[int, int] | None",

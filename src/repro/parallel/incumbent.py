@@ -23,6 +23,11 @@ instance attribute with the same interface.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.context import BaseContext
+
 __all__ = ["SharedIncumbent"]
 
 
@@ -39,7 +44,8 @@ class SharedIncumbent:
         process-local attribute (the in-process fallback path).
     """
 
-    def __init__(self, initial: int, ctx=None):
+    def __init__(self, initial: int,
+                 ctx: "BaseContext | None" = None) -> None:
         if ctx is None:
             self._value = None
             self._local = initial
@@ -48,7 +54,7 @@ class SharedIncumbent:
             self._local = initial
 
     @classmethod
-    def from_value(cls, value) -> "SharedIncumbent":
+    def from_value(cls, value: Any) -> "SharedIncumbent":
         """Rewrap a ``multiprocessing.Value`` received by a spawned
         worker through the pool initializer."""
         incumbent = cls.__new__(cls)
@@ -60,6 +66,18 @@ class SharedIncumbent:
     def shared(self) -> bool:
         """Whether the register lives in shared memory."""
         return self._value is not None
+
+    @property
+    def handle(self) -> Any:
+        """The raw shared-memory ``Value`` (``None`` when local).
+
+        This is what a ``spawn`` pool initializer receives —
+        ``multiprocessing.Value`` carries its own shared-memory pickle
+        reduction, so it must travel as itself, not wrapped.  Counter-
+        part of :meth:`from_value`; the only sanctioned way for the
+        engine to touch the register's storage.
+        """
+        return self._value
 
     def get(self) -> int:
         """Current value (may be stale by the time the caller acts —

@@ -28,6 +28,8 @@ feasibility question per vertex at the round's (or the live shared)
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.stats import SearchStats
 from ..dichromatic.build import dichromatic_network_from_masks, \
     ego_edge_count_from_masks
@@ -49,7 +51,27 @@ __all__ = [
     "init_spawned_worker",
     "run_mdc_chunk",
     "run_dcc_chunk",
+    "PackedContext",
+    "MdcChunkResult",
+    "DccChunkResult",
 ]
+
+#: :meth:`WorkerContext.pack` wire format — two mask byte blobs, the
+#: vertex count, tau, the processing order, and the three flags.
+PackedContext = tuple[
+    bytes, bytes, int, int, "list[int]", bool, bool, bool]
+
+#: ``(witness, stats delta, examined, skipped)`` per MDC chunk; the
+#: witness is ``(anchor u, [(vertex, is_left), ...])`` or ``None``.
+MdcChunkResult = tuple[
+    "tuple[int, list[tuple[int, bool]]] | None",
+    "SearchStats | None", int, int]
+
+#: ``(successes, stats delta, examined)`` per DCC chunk; each success
+#: is ``(u, bar_used, [(vertex, is_left), ...])``.
+DccChunkResult = tuple[
+    "list[tuple[int, int, list[tuple[int, bool]]]]",
+    "SearchStats | None", int]
 
 #: The per-process context (set by fork inheritance or the spawn
 #: initializer).  One solve at a time per pool.
@@ -70,7 +92,7 @@ class WorkerContext:
         use_core: bool = True,
         use_coloring: bool = True,
         want_stats: bool = False,
-    ):
+    ) -> None:
         self.pos_bits = pos_bits
         self.neg_bits = neg_bits
         self.n = n
@@ -89,7 +111,7 @@ class WorkerContext:
             self._allowed = suffix_masks(self.order)
         return self._allowed[u]
 
-    def pack(self) -> tuple:
+    def pack(self) -> PackedContext:
         """Compact picklable form for ``spawn`` pools.
 
         The mask lists dominate the payload; as byte blobs they pickle
@@ -105,7 +127,7 @@ class WorkerContext:
         )
 
     @classmethod
-    def unpack(cls, packed: tuple,
+    def unpack(cls, packed: PackedContext,
                incumbent: SharedIncumbent) -> "WorkerContext":
         pos_blob, neg_blob, n, tau, order, use_core, use_coloring, \
             want_stats = packed
@@ -122,13 +144,13 @@ def install_context(ctx: "WorkerContext | None") -> None:
     _CTX = ctx
 
 
-def init_spawned_worker(packed: tuple, value) -> None:
+def init_spawned_worker(packed: PackedContext, value: Any) -> None:
     """Pool initializer for ``spawn`` contexts."""
     incumbent = SharedIncumbent.from_value(value)
     install_context(WorkerContext.unpack(packed, incumbent))
 
 
-def run_mdc_chunk(chunk: list[int]) -> tuple:
+def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
     """Solve the MDC instances of ``chunk`` against the live incumbent.
 
     Returns ``(witness, stats, examined, skipped)`` where ``witness``
@@ -203,7 +225,7 @@ def run_mdc_chunk(chunk: list[int]) -> tuple:
     return best_witness, stats, len(chunk), skipped
 
 
-def run_dcc_chunk(args: tuple) -> tuple:
+def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:
     """PF* round worker: one +1 feasibility question per vertex.
 
     ``args`` is ``(bar, chunk)`` — the round's ``tau*`` and the vertex

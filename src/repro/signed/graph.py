@@ -44,7 +44,8 @@ class SignedGraph:
         Optional sequence of ``n`` vertex labels (e.g. subreddit names).
     """
 
-    def __init__(self, n: int = 0, labels: Sequence[str] | None = None):
+    def __init__(self, n: int = 0,
+                 labels: Sequence[str] | None = None) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._pos: list[set[int]] = [set() for _ in range(n)]

@@ -28,7 +28,7 @@ class RatingTable:
     conversion can iterate over co-raters of each item.
     """
 
-    def __init__(self, num_users: int, num_items: int):
+    def __init__(self, num_users: int, num_items: int) -> None:
         if num_users < 0 or num_items < 0:
             raise ValueError("user/item counts must be non-negative")
         self.num_users = num_users
@@ -81,7 +81,9 @@ def ratings_to_signed_graph(
                     opposite[(u, v)] += 1
 
     graph = SignedGraph(table.num_users)
-    for pair in set(close) | set(opposite):
+    # Sorted so edge insertion order (and thus everything downstream
+    # that iterates edges) is identical across PYTHONHASHSEED values.
+    for pair in sorted(set(close) | set(opposite)):
         agree = close.get(pair, 0)
         disagree = opposite.get(pair, 0)
         u, v = pair

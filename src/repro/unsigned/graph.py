@@ -21,7 +21,7 @@ __all__ = ["UnsignedGraph"]
 class UnsignedGraph:
     """Undirected simple graph over vertices ``0..n-1`` (adjacency sets)."""
 
-    def __init__(self, n: int = 0):
+    def __init__(self, n: int = 0) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._n = n

@@ -25,7 +25,7 @@ class HigherRanked:
 
     __slots__ = ("_rank", "_threshold")
 
-    def __init__(self, rank: dict[int, int], threshold: int):
+    def __init__(self, rank: dict[int, int], threshold: int) -> None:
         self._rank = rank
         self._threshold = threshold
 
