@@ -16,17 +16,23 @@ evaluation (Section VI).  Conventions:
 * ``REPRO_ENGINE`` selects the adjacency engine (``bitset`` default,
   ``set`` for the original representation) for the engine-aware
   solvers, so ``REPRO_ENGINE=set python benchmarks/...`` reproduces
-  pre-kernel timings.
+  pre-kernel timings;
+* ``REPRO_TRACE=trace.jsonl`` installs an ambient :mod:`repro.obs`
+  tracer for the whole benchmark process and writes the merged span
+  stream to the named file at exit (``docs/OBSERVABILITY.md``), so any
+  figure script doubles as a profiling run without code changes.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import random
 import time
 from typing import Callable, Iterable, Sequence
 
 from repro.datasets.registry import dataset_names, load
+from repro.obs import get_tracer, install_tracer, write_jsonl
 from repro.signed.graph import SignedGraph
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -42,6 +48,25 @@ SCALABILITY_DATASETS = ["dblp", "douban"]
 
 #: Default polarization threshold of the paper's experiments.
 DEFAULT_TAU = 3
+
+#: ``REPRO_TRACE=path.jsonl`` traces the whole benchmark process.
+TRACE_PATH = os.environ.get("REPRO_TRACE")
+
+
+def _install_bench_tracer(path: str) -> None:
+    tracer = get_tracer(True)
+    install_tracer(tracer)
+
+    def _flush() -> None:
+        install_tracer(None)
+        lines = write_jsonl(tracer, path)
+        print(f"trace: {path} ({lines} events)")
+
+    atexit.register(_flush)
+
+
+if TRACE_PATH:
+    _install_bench_tracer(TRACE_PATH)
 
 
 def bench_graph(name: str) -> SignedGraph:

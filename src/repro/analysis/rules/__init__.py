@@ -14,6 +14,7 @@ from .r004_graph_mutation import GraphArgumentMutationRule
 from .r005_public_api import PublicApiRule
 from .r006_layering import ImportLayeringRule
 from .r007_annotations import AnnotationCompletenessRule
+from .r008_tracer_discipline import TracerDisciplineRule
 
 __all__ = [
     "ALL_RULES",
@@ -25,6 +26,7 @@ __all__ = [
     "PublicApiRule",
     "ImportLayeringRule",
     "AnnotationCompletenessRule",
+    "TracerDisciplineRule",
 ]
 
 ALL_RULES = (
@@ -35,6 +37,7 @@ ALL_RULES = (
     PublicApiRule(),
     ImportLayeringRule(),
     AnnotationCompletenessRule(),
+    TracerDisciplineRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -3,7 +3,9 @@
 The package DAG (DESIGN.md §6, enforced here so refactors cannot
 silently invert it)::
 
-    kernels                      (pure int-mask primitives, imports nothing)
+      obs                        (tracing/metrics; imports nothing)
+       ^
+    kernels                      (pure int-mask primitives)
       ^        ^
     signed   unsigned            (graph substrates)
       ^        ^
@@ -14,6 +16,10 @@ silently invert it)::
         core                     (MBC*/PF*/gMBC* drivers)
       ^        ^
  baselines  datasets             (comparison code and stand-ins)
+
+``repro.obs`` is the one layer *every* solver package may import — it
+is how the tracer threads through the stack without new edges — and
+itself imports nothing from the rest of the package.
 
 ``repro.analysis`` (this package) sits outside the stack entirely and
 must stay stdlib-only, so linting never imports — or depends on — the
@@ -40,23 +46,28 @@ __all__ = ["ImportLayeringRule", "ALLOWED_PACKAGE_IMPORTS",
 
 #: package -> packages it may import from at runtime.
 ALLOWED_PACKAGE_IMPORTS: dict[str, frozenset[str]] = {
-    "repro.kernels": frozenset(),
-    "repro.signed": frozenset({"repro.kernels"}),
-    "repro.unsigned": frozenset({"repro.kernels"}),
+    "repro.obs": frozenset(),
+    "repro.kernels": frozenset({"repro.obs"}),
+    "repro.signed": frozenset({"repro.kernels", "repro.obs"}),
+    "repro.unsigned": frozenset({"repro.kernels", "repro.obs"}),
     "repro.dichromatic": frozenset(
-        {"repro.kernels", "repro.signed", "repro.unsigned"}),
+        {"repro.kernels", "repro.signed", "repro.unsigned",
+         "repro.obs"}),
     "repro.metrics": frozenset(
-        {"repro.kernels", "repro.signed", "repro.unsigned"}),
+        {"repro.kernels", "repro.signed", "repro.unsigned",
+         "repro.obs"}),
     "repro.parallel": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
-         "repro.dichromatic"}),
+         "repro.dichromatic", "repro.obs"}),
     "repro.core": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
-         "repro.dichromatic", "repro.metrics", "repro.parallel"}),
+         "repro.dichromatic", "repro.metrics", "repro.parallel",
+         "repro.obs"}),
     "repro.baselines": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
-         "repro.metrics"}),
-    "repro.datasets": frozenset({"repro.kernels", "repro.signed"}),
+         "repro.metrics", "repro.obs"}),
+    "repro.datasets": frozenset(
+        {"repro.kernels", "repro.signed", "repro.obs"}),
     "repro.analysis": frozenset(),
 }
 

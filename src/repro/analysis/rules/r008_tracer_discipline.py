@@ -1,0 +1,105 @@
+"""R008 — tracer discipline in the solver stack.
+
+All timing inside the solver packages goes through :mod:`repro.obs`:
+a module either receives a tracer (``trace=`` parameter, falling back
+to ``current_tracer()``) or builds one via the public factory
+``get_tracer``.  Two failure modes are flagged:
+
+1. **Ad-hoc wall-clock reads** — a ``time.perf_counter()`` (or any
+   other ``time``-module clock) sprinkled into ``repro.core`` or
+   ``repro.dichromatic`` produces timings invisible to the trace
+   sinks, untestable against the JSONL schema, and unmergeable across
+   worker processes.  Flagged: calls through the ``time`` module
+   (``time.time()``, ``time.perf_counter_ns()``, ...) and imports of
+   those clock functions from ``time``.  ``from time import sleep``
+   and other non-clock names stay legal.
+
+2. **Direct ``Tracer(...)`` instantiation** — constructing a tracer
+   bypasses :func:`repro.obs.get_tracer`, so the "disabled means the
+   shared null tracer, zero allocation" contract silently erodes.
+
+Scope: the solver-stack packages (everything R006 layers).
+``repro.obs`` itself is exempt (it *implements* the clocks), as are
+``repro.analysis`` and the top-level composition root (``repro.cli``
+reports wall time to humans and may read clocks directly).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+
+__all__ = ["TracerDisciplineRule", "CLOCK_NAMES", "TRACED_PACKAGES"]
+
+#: ``time``-module functions that read a clock.  ``sleep``,
+#: ``strftime`` & co. are deliberately absent — R008 polices *timing
+#: measurements*, not every use of the module.
+CLOCK_NAMES = frozenset({
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns",
+})
+
+#: Packages the discipline applies to — the solver stack of R006.
+TRACED_PACKAGES = frozenset({
+    "repro.kernels", "repro.signed", "repro.unsigned",
+    "repro.dichromatic", "repro.metrics", "repro.parallel",
+    "repro.core", "repro.baselines", "repro.datasets",
+})
+
+
+class TracerDisciplineRule(Rule):
+    rule_id = "R008"
+    title = "solver modules time through repro.obs, never raw clocks"
+    rationale = (
+        "an ad-hoc time.perf_counter() produces numbers no trace sink "
+        "sees and no worker merge carries, and a hand-built Tracer() "
+        "bypasses the get_tracer factory's null-tracer contract")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package in TRACED_PACKAGES
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Names bound to clock functions by ``from time import ...``.
+        clock_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and \
+                    node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name in CLOCK_NAMES:
+                        clock_aliases.add(alias.asname or alias.name)
+                        yield self.finding(
+                            module, node,
+                            f"from time import {alias.name} — solver "
+                            f"timing goes through repro.obs spans "
+                            f"(Tracer.span / span.count), not raw "
+                            f"clock reads")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id == "time" and \
+                    func.attr in CLOCK_NAMES:
+                yield self.finding(
+                    module, node,
+                    f"time.{func.attr}() — solver timing goes through "
+                    f"repro.obs spans, not raw clock reads")
+            elif isinstance(func, ast.Name) and \
+                    func.id in clock_aliases:
+                yield self.finding(
+                    module, node,
+                    f"{func.id}() reads a clock imported from time — "
+                    f"solver timing goes through repro.obs spans")
+            elif isinstance(func, ast.Name) and func.id == "Tracer":
+                yield self.finding(
+                    module, node,
+                    "direct Tracer() construction — obtain tracers "
+                    "via repro.obs.get_tracer / current_tracer so "
+                    "the disabled path stays the shared null tracer")

@@ -2,9 +2,11 @@
 
 Installed as ``repro`` (also ``python -m repro``).  Subcommands:
 
-* ``repro mbc GRAPH --tau 3`` — maximum balanced clique;
-* ``repro pf GRAPH`` — polarization factor;
-* ``repro gmbc GRAPH`` — a maximum balanced clique for every tau;
+* ``repro mbc GRAPH --tau 3`` — maximum balanced clique
+  (alias ``mbc-star``);
+* ``repro pf GRAPH`` — polarization factor (alias ``pf-star``);
+* ``repro gmbc GRAPH`` — a maximum balanced clique for every tau
+  (alias ``gmbc-star``);
 * ``repro stats GRAPH`` — dataset statistics (Table I columns);
 * ``repro generate NAME OUT`` — write a stand-in dataset to a file;
 * ``repro lint [PATHS]`` — the repo-specific invariant linter
@@ -12,6 +14,10 @@ Installed as ``repro`` (also ``python -m repro``).  Subcommands:
 
 ``GRAPH`` is either a path to an edge-list file (``u v sign`` lines) or
 ``dataset:NAME`` to use a built-in stand-in (e.g. ``dataset:douban``).
+
+The solver commands accept ``--trace PATH`` (write the solve's
+:mod:`repro.obs` span tree as schema-versioned JSONL) and ``--profile``
+(print the human-readable span tree) — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -28,6 +34,8 @@ from .core.pf import pf_binary_search, pf_enumeration, pf_star
 from .core.stats import SearchStats
 from .datasets.registry import dataset_names, load
 from .kernels import DEFAULT_ENGINE, ENGINES
+from .obs import Tracer, get_tracer, install_tracer, render_tree, \
+    write_jsonl
 from .signed.graph import SignedGraph
 from .signed.io import load_signed_graph, save_signed_graph
 
@@ -43,6 +51,12 @@ def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the ego-network sweep (default 1 = "
              "serial; needs the bitset engine)")
+    subparser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a repro.obs JSONL trace of the solve to PATH")
+    subparser.add_argument(
+        "--profile", action="store_true",
+        help="print the span-tree profile after the solve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,7 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "graphs (ICDE 2022 reproduction).")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    mbc = sub.add_parser("mbc", help="maximum balanced clique")
+    mbc = sub.add_parser("mbc", aliases=["mbc-star"],
+                         help="maximum balanced clique")
     mbc.add_argument("graph", help="edge-list path or dataset:NAME")
     mbc.add_argument("--tau", type=int, default=3,
                      help="polarization constraint (default 3)")
@@ -62,7 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver: MBC* (default) or the enumeration baseline")
     _add_engine_flag(mbc)
 
-    pf = sub.add_parser("pf", help="polarization factor")
+    pf = sub.add_parser("pf", aliases=["pf-star"],
+                        help="polarization factor")
     pf.add_argument("graph", help="edge-list path or dataset:NAME")
     pf.add_argument(
         "--algorithm", choices=["star", "binary-search", "enumeration"],
@@ -70,7 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flag(pf)
 
     gmbc = sub.add_parser(
-        "gmbc", help="maximum balanced clique for every tau")
+        "gmbc", aliases=["gmbc-star"],
+        help="maximum balanced clique for every tau")
     gmbc.add_argument("graph", help="edge-list path or dataset:NAME")
     gmbc.add_argument(
         "--algorithm", choices=["star", "naive"], default="star")
@@ -121,18 +138,48 @@ def _load_graph(token: str) -> SignedGraph:
     return load_signed_graph(token)
 
 
+def _install_cli_tracer(args: argparse.Namespace) -> Tracer | None:
+    """A live ambient tracer when ``--trace``/``--profile`` ask for one.
+
+    Installing (rather than only passing ``trace=``) also captures the
+    kernel-layer spans, which read the ambient tracer.
+    """
+    if not args.trace and not args.profile:
+        return None
+    tracer = get_tracer(True)
+    install_tracer(tracer)
+    return tracer
+
+
+def _report_trace(args: argparse.Namespace,
+                  tracer: Tracer | None) -> None:
+    """Uninstall the CLI tracer and emit its sinks."""
+    if tracer is None:
+        return
+    install_tracer(None)
+    if args.trace:
+        lines = write_jsonl(tracer, args.trace)
+        print(f"trace: {args.trace} ({lines} events)")
+    if args.profile:
+        print(render_tree(tracer))
+
+
 def _cmd_mbc(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     stats = SearchStats()
+    tracer = _install_cli_tracer(args)
     started = time.perf_counter()
-    if args.algorithm == "star":
-        clique = mbc_star(graph, args.tau, stats=stats,
-                          engine=args.engine, parallel=args.workers)
-        engine = args.engine
-    else:
-        clique = mbc_baseline(graph, args.tau, stats=stats)
-        engine = "set"  # the baseline has no bitset path
-    elapsed = time.perf_counter() - started
+    try:
+        if args.algorithm == "star":
+            clique = mbc_star(graph, args.tau, stats=stats,
+                              engine=args.engine, parallel=args.workers)
+            engine = args.engine
+        else:
+            clique = mbc_baseline(graph, args.tau, stats=stats)
+            engine = "set"  # the baseline has no bitset path
+    finally:
+        elapsed = time.perf_counter() - started
+        _report_trace(args, tracer)
     if clique.is_empty:
         print(f"no balanced clique satisfies tau={args.tau}")
     else:
@@ -144,19 +191,23 @@ def _cmd_mbc(args: argparse.Namespace) -> int:
 
 def _cmd_pf(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
+    tracer = _install_cli_tracer(args)
     started = time.perf_counter()
-    if args.algorithm == "star":
-        beta = pf_star(graph, engine=args.engine,
-                       parallel=args.workers)
-        engine = args.engine
-    elif args.algorithm == "binary-search":
-        beta = pf_binary_search(graph, engine=args.engine,
-                                parallel=args.workers)
-        engine = args.engine
-    else:
-        beta = pf_enumeration(graph)
-        engine = "set"  # enumeration has no bitset path
-    elapsed = time.perf_counter() - started
+    try:
+        if args.algorithm == "star":
+            beta = pf_star(graph, engine=args.engine,
+                           parallel=args.workers)
+            engine = args.engine
+        elif args.algorithm == "binary-search":
+            beta = pf_binary_search(graph, engine=args.engine,
+                                    parallel=args.workers)
+            engine = args.engine
+        else:
+            beta = pf_enumeration(graph)
+            engine = "set"  # enumeration has no bitset path
+    finally:
+        elapsed = time.perf_counter() - started
+        _report_trace(args, tracer)
     print(f"polarization factor beta(G) = {beta}")
     print(f"time: {elapsed:.3f}s  engine: {engine}")
     return 0
@@ -164,14 +215,18 @@ def _cmd_pf(args: argparse.Namespace) -> int:
 
 def _cmd_gmbc(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
+    tracer = _install_cli_tracer(args)
     started = time.perf_counter()
-    if args.algorithm == "star":
-        results = gmbc_star(graph, engine=args.engine,
-                            parallel=args.workers)
-    else:
-        results = gmbc_naive(graph, engine=args.engine,
-                             parallel=args.workers)
-    elapsed = time.perf_counter() - started
+    try:
+        if args.algorithm == "star":
+            results = gmbc_star(graph, engine=args.engine,
+                                parallel=args.workers)
+        else:
+            results = gmbc_naive(graph, engine=args.engine,
+                                 parallel=args.workers)
+    finally:
+        elapsed = time.perf_counter() - started
+        _report_trace(args, tracer)
     for tau, clique in enumerate(results):
         print(f"tau={tau:3d}  {clique.describe(graph)}")
     profile = distinct_cliques_profile(results)
@@ -256,8 +311,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "mbc": _cmd_mbc,
+    "mbc-star": _cmd_mbc,
     "pf": _cmd_pf,
+    "pf-star": _cmd_pf,
     "gmbc": _cmd_gmbc,
+    "gmbc-star": _cmd_gmbc,
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "enum": _cmd_enum,

@@ -17,6 +17,7 @@ removing the need for users to pick a threshold.
 
 from __future__ import annotations
 
+from ..obs import Tracer, current_tracer
 from ..signed.graph import SignedGraph
 from .mbc_star import mbc_star
 from .pf import pf_star
@@ -31,6 +32,7 @@ def gmbc_naive(
     stats: SearchStats | None = None,
     engine: str = "bitset",
     parallel: int = 0,
+    trace: Tracer | None = None,
 ) -> list[BalancedClique]:
     """gMBC: maxima for all ``tau``, each computed from scratch.
 
@@ -38,15 +40,21 @@ def gmbc_naive(
     clique for threshold ``tau``; ``len(results) == beta(G) + 1``.
     ``parallel`` forwards to every MBC* invocation.
     """
+    tracer = trace if trace is not None else current_tracer()
     results: list[BalancedClique] = []
-    tau = 0
-    while True:
-        clique = mbc_star(
-            graph, tau, stats=stats, engine=engine, parallel=parallel)
-        if clique.is_empty or not clique.satisfies(tau):
-            break
-        results.append(clique)
-        tau += 1
+    with tracer.span("gmbc", n=graph.num_vertices,
+                     engine=engine) as root:
+        tau = 0
+        while True:
+            with tracer.span("tau", tau=tau):
+                clique = mbc_star(
+                    graph, tau, stats=stats, engine=engine,
+                    parallel=parallel, trace=tracer)
+            if clique.is_empty or not clique.satisfies(tau):
+                break
+            results.append(clique)
+            tau += 1
+        root.set(beta=len(results) - 1)
     return results
 
 
@@ -55,6 +63,7 @@ def gmbc_star(
     stats: SearchStats | None = None,
     engine: str = "bitset",
     parallel: int = 0,
+    trace: Tracer | None = None,
 ) -> list[BalancedClique]:
     """gMBC* (Algorithm 6): shared-computation downward sweep.
 
@@ -63,20 +72,29 @@ def gmbc_star(
     """
     if graph.num_vertices == 0:
         return []
-    beta = pf_star(graph, stats=stats, engine=engine, parallel=parallel)
+    tracer = trace if trace is not None else current_tracer()
     results: list[BalancedClique] = []
-    previous: BalancedClique | None = None
-    for tau in range(beta, -1, -1):
-        clique = mbc_star(
-            graph, tau, initial=previous, stats=stats, engine=engine,
-            parallel=parallel)
-        if clique.is_empty:
-            # Cannot happen for tau <= beta(G) by definition; guard for
-            # robustness against a caller-mangled graph.
-            raise RuntimeError(
-                f"no balanced clique found for tau={tau} <= beta={beta}")
-        results.append(clique)
-        previous = clique
+    with tracer.span("gmbc_star", n=graph.num_vertices,
+                     engine=engine) as root:
+        beta = pf_star(
+            graph, stats=stats, engine=engine, parallel=parallel,
+            trace=tracer)
+        assert isinstance(beta, int)
+        root.set(beta=beta)
+        previous: BalancedClique | None = None
+        for tau in range(beta, -1, -1):
+            with tracer.span("tau", tau=tau):
+                clique = mbc_star(
+                    graph, tau, initial=previous, stats=stats,
+                    engine=engine, parallel=parallel, trace=tracer)
+            if clique.is_empty:
+                # Cannot happen for tau <= beta(G) by definition; guard
+                # for robustness against a caller-mangled graph.
+                raise RuntimeError(
+                    f"no balanced clique found for tau={tau} "
+                    f"<= beta={beta}")
+            results.append(clique)
+            previous = clique
     results.reverse()
     return results
 

@@ -33,6 +33,7 @@ from ..kernels.active import (
     k_core_active_mask,
 )
 from ..kernels.bitset import iter_bits
+from ..obs import Tracer, current_tracer
 from ..parallel.engine import mbc_ego_fanout, resolve_workers
 from ..signed.graph import SignedGraph
 from ..unsigned.coloring import coloring_upper_bound
@@ -60,6 +61,7 @@ def mbc_star(
     use_core: bool = True,
     engine: str = "bitset",
     parallel: int = 0,
+    trace: Tracer | None = None,
 ) -> BalancedClique:
     """Maximum balanced clique satisfying the polarization constraint.
 
@@ -102,6 +104,12 @@ def mbc_star(
         optimum size is identical to the serial sweep's.  ``check_only``
         runs always stay serial (the first witness ends the search, so
         there is nothing to fan out).
+    trace:
+        Optional :class:`repro.obs.Tracer`; defaults to the ambient
+        tracer.  A traced run closes one ``mbc_star`` root span with
+        per-phase children (``vertex_reduction``, ``heuristic``,
+        ``core_reduction``, ``ordering``, ``sweep``) and one ``ego``
+        span per examined vertex — see ``docs/OBSERVABILITY.md``.
 
     Returns
     -------
@@ -121,20 +129,56 @@ def mbc_star(
     if not best.is_empty and not best.satisfies(tau):
         raise ValueError("initial clique violates the tau constraint")
 
+    tracer = trace if trace is not None else current_tracer()
+    root = tracer.span(
+        "mbc_star", n=graph.num_vertices, tau=tau, engine=engine,
+        workers=workers, check_only=check_only)
+    with root:
+        result = _pipeline(
+            graph, tau, use_edge_reduction, stats, check_only, ordering,
+            use_coloring, use_core, engine, workers, best, tracer)
+        if tracer.enabled:
+            root.set(size=result.size)
+    return result
+
+
+def _pipeline(
+    graph: SignedGraph,
+    tau: int,
+    use_edge_reduction: bool,
+    stats: SearchStats | None,
+    check_only: bool,
+    ordering: str,
+    use_coloring: bool,
+    use_core: bool,
+    engine: str,
+    workers: int,
+    best: BalancedClique,
+    tracer: Tracer,
+) -> BalancedClique:
+    """The MBC* pipeline behind :func:`mbc_star` (root span open)."""
     # Line 1: VertexReduction (plus EdgeReduction for the variant).
-    alive = vertex_reduction(graph, tau)
-    working, mapping = graph.subgraph(alive)
+    with tracer.span("vertex_reduction", n=graph.num_vertices) as phase:
+        alive = vertex_reduction(graph, tau)
+        working, mapping = graph.subgraph(alive)
+        phase.set(kept=working.num_vertices)
     if use_edge_reduction:
-        reducer = edge_reduction_fast if engine == "bitset" \
-            else edge_reduction
-        working = reducer(working, tau)
-        alive2 = vertex_reduction(working, tau)
-        if len(alive2) < working.num_vertices:
-            working, mapping2 = working.subgraph(alive2)
-            mapping = [mapping[idx] for idx in mapping2]
+        with tracer.span("edge_reduction",
+                         edges=working.num_edges) as phase:
+            reducer = edge_reduction_fast if engine == "bitset" \
+                else edge_reduction
+            working = reducer(working, tau)
+            alive2 = vertex_reduction(working, tau)
+            if len(alive2) < working.num_vertices:
+                working, mapping2 = working.subgraph(alive2)
+                mapping = [mapping[idx] for idx in mapping2]
+            phase.set(kept_edges=working.num_edges,
+                      kept=working.num_vertices)
 
     # Line 2: heuristic initial solution.
-    heuristic = mbc_heuristic(working, tau, engine=engine)
+    with tracer.span("heuristic") as phase:
+        heuristic = mbc_heuristic(working, tau, engine=engine)
+        phase.set(size=heuristic.size)
     if stats is not None:
         stats.heuristic_size = heuristic.size
     if heuristic.size > best.size:
@@ -148,40 +192,46 @@ def mbc_star(
     # the minimum acceptable clique size: beat the incumbent and leave
     # room for tau vertices per side.
     required = max(best.size + 1, 2 * tau)
-    if engine == "bitset":
-        unsigned = UnsignedGraph.from_signed_bits(working)
-        core_mask = k_core_active_mask(
-            unsigned.adjacency_bits(), required - 1, unsigned.all_bits())
-        if not core_mask:
-            return best
-        core_alive: set[int] | None = None
-    else:
-        unsigned = UnsignedGraph.from_signed(working)
-        core_alive = k_core_subset(
-            unsigned, required - 1, unsigned.vertices())
-        if not core_alive:
-            return best
+    with tracer.span("core_reduction", required=required) as phase:
+        if engine == "bitset":
+            unsigned = UnsignedGraph.from_signed_bits(working)
+            core_mask = k_core_active_mask(
+                unsigned.adjacency_bits(), required - 1,
+                unsigned.all_bits())
+            phase.set(kept=core_mask.bit_count())
+            if not core_mask:
+                return best
+            core_alive: set[int] | None = None
+        else:
+            unsigned = UnsignedGraph.from_signed(working)
+            core_alive = k_core_subset(
+                unsigned, required - 1, unsigned.vertices())
+            phase.set(kept=len(core_alive))
+            if not core_alive:
+                return best
 
     # Line 4: vertex ordering (degeneracy by default; ego-networks of
     # higher-ranked neighbours then have at most degeneracy(G) many
     # vertices).
-    if ordering == "degeneracy":
-        if engine == "bitset":
-            # Ordering the core-induced subgraph suffices: every clique
-            # able to beat the incumbent lies inside the |C*|-core, and
-            # the sweep only ever ranks core vertices.
-            order = degeneracy_ordering_mask(
-                unsigned.adjacency_bits(), core_mask)
+    with tracer.span("ordering", kind=ordering) as phase:
+        if ordering == "degeneracy":
+            if engine == "bitset":
+                # Ordering the core-induced subgraph suffices: every
+                # clique able to beat the incumbent lies inside the
+                # |C*|-core, and the sweep only ever ranks core vertices.
+                order = degeneracy_ordering_mask(
+                    unsigned.adjacency_bits(), core_mask)
+            else:
+                full_order = degeneracy_ordering(unsigned)
+                order = [v for v in full_order if v in core_alive]
         else:
-            full_order = degeneracy_ordering(unsigned)
-            order = [v for v in full_order if v in core_alive]
-    else:
-        if core_alive is None:
-            core_alive = set(iter_bits(core_mask))
-        if ordering == "degree":
-            order = sorted(core_alive, key=unsigned.degree)
-        else:
-            order = sorted(core_alive)
+            if core_alive is None:
+                core_alive = set(iter_bits(core_mask))
+            if ordering == "degree":
+                order = sorted(core_alive, key=unsigned.degree)
+            else:
+                order = sorted(core_alive)
+        phase.set(n=len(order))
     rank = {v: position for position, v in enumerate(order)}
 
     # Parallel fan-out: the per-vertex instances of the sweep below are
@@ -192,102 +242,122 @@ def mbc_star(
     if workers > 1 and engine == "bitset" and not check_only:
         return mbc_ego_fanout(
             working, mapping, tau, best, order, workers,
-            use_core=use_core, use_coloring=use_coloring, stats=stats)
+            use_core=use_core, use_coloring=use_coloring, stats=stats,
+            trace=tracer)
 
     # Line 5: process vertices in reverse degeneracy order.  The bitset
     # engine carries the "higher-ranked" filter as a mask accumulated
     # over already-processed vertices (exactly the vertices ranked above
     # the current one).
-    allowed_mask = 0
-    for u in reversed(order):
-        required = max(best.size + 1, 2 * tau)
-        this_allowed_mask = allowed_mask
-        allowed_mask |= 1 << u
-        if stats is not None:
-            stats.vertices_examined += 1
-        # Line 7: |C*|-core of g_u (k shifted by one: u is excluded).
-        # Line 8: colouring-based pruning of the whole instance.  Both
-        # run on the engine's native representation; the bitset path
-        # builds the network straight from global adjacency masks and
-        # hands the surviving mask to solve_mdc.
-        if engine == "bitset":
-            network = build_dichromatic_network_bits(
-                working, u, this_allowed_mask)
-            if network.num_vertices + 1 < required:
-                continue
-            adj_bits = network.adjacency_bits()
-            active_mask = network.all_bits()
-            if use_core:
-                active_mask = k_core_active_mask(
-                    adj_bits, required - 2, active_mask)
-            if active_mask.bit_count() + 1 < required:
-                continue
-            if use_coloring:
-                bound = coloring_upper_bound_active_mask(
-                    adj_bits, active_mask)
-                if bound < required - 1:
+    with tracer.span("sweep", n=len(order)):
+        allowed_mask = 0
+        for u in reversed(order):
+            with tracer.span("ego", v=mapping[u]) as ego:
+                required = max(best.size + 1, 2 * tau)
+                this_allowed_mask = allowed_mask
+                allowed_mask |= 1 << u
+                if stats is not None:
+                    stats.vertices_examined += 1
+                # Line 7: |C*|-core of g_u (k shifted by one: u is
+                # excluded).  Line 8: colouring-based pruning of the
+                # whole instance.  Both run on the engine's native
+                # representation; the bitset path builds the network
+                # straight from global adjacency masks and hands the
+                # surviving mask to solve_mdc.
+                if engine == "bitset":
+                    network = build_dichromatic_network_bits(
+                        working, u, this_allowed_mask)
+                    if network.num_vertices + 1 < required:
+                        ego.set(pruned="size")
+                        continue
+                    adj_bits = network.adjacency_bits()
+                    active_mask = network.all_bits()
+                    if use_core:
+                        active_mask = k_core_active_mask(
+                            adj_bits, required - 2, active_mask)
+                    if active_mask.bit_count() + 1 < required:
+                        ego.set(pruned="core")
+                        continue
+                    if use_coloring:
+                        bound = coloring_upper_bound_active_mask(
+                            adj_bits, active_mask)
+                        if bound < required - 1:
+                            ego.set(pruned="color")
+                            continue
+                    ego.set(n=network.num_vertices,
+                            reduced=active_mask.bit_count())
+                    if stats is not None:
+                        stats.instances += 1
+                        ego_edges = ego_network_edge_count_bits(
+                            working, u, this_allowed_mask)
+                        reduced_edges = active_edge_count_mask(
+                            adj_bits, active_mask)
+                        stats.record_reduction(
+                            ego_edges, network.num_edges, reduced_edges)
+                    found = solve_mdc(
+                        network, tau - 1, tau,
+                        must_exceed=required - 2,
+                        stats=stats,
+                        check_only=check_only,
+                        use_coloring=use_coloring,
+                        use_core=use_core,
+                        engine=engine,
+                        active_mask=active_mask,
+                        trace=tracer)
+                else:
+                    allowed = HigherRanked(rank, rank[u])
+                    network = build_dichromatic_network(
+                        working, u, allowed)
+                    if network.num_vertices + 1 < required:
+                        ego.set(pruned="size")
+                        continue
+                    active = set(network.vertices())
+                    if use_core:
+                        active = k_core_active(
+                            network, required - 2, active)
+                    if len(active) + 1 < required:
+                        ego.set(pruned="core")
+                        continue
+                    if use_coloring:
+                        bound = _color_bound(network, active)
+                        if bound < required - 1:
+                            ego.set(pruned="color")
+                            continue
+                    ego.set(n=network.num_vertices, reduced=len(active))
+                    if stats is not None:
+                        stats.instances += 1
+                        ego_edges = ego_network_edge_count(
+                            working, u, allowed)
+                        reduced_edges = _active_edge_count(
+                            network, active)
+                        stats.record_reduction(
+                            ego_edges, network.num_edges, reduced_edges)
+                    found = solve_mdc(
+                        network, tau - 1, tau,
+                        must_exceed=required - 2,
+                        stats=stats,
+                        check_only=check_only,
+                        active=active,
+                        use_coloring=use_coloring,
+                        use_core=use_core,
+                        engine=engine,
+                        trace=tracer)
+                ego.set(found=found is not None)
+                if found is None:
                     continue
-            if stats is not None:
-                stats.instances += 1
-                ego_edges = ego_network_edge_count_bits(
-                    working, u, this_allowed_mask)
-                reduced_edges = active_edge_count_mask(
-                    adj_bits, active_mask)
-                stats.record_reduction(
-                    ego_edges, network.num_edges, reduced_edges)
-            found = solve_mdc(
-                network, tau - 1, tau,
-                must_exceed=required - 2,
-                stats=stats,
-                check_only=check_only,
-                use_coloring=use_coloring,
-                use_core=use_core,
-                engine=engine,
-                active_mask=active_mask)
-        else:
-            allowed = HigherRanked(rank, rank[u])
-            network = build_dichromatic_network(working, u, allowed)
-            if network.num_vertices + 1 < required:
-                continue
-            active = set(network.vertices())
-            if use_core:
-                active = k_core_active(network, required - 2, active)
-            if len(active) + 1 < required:
-                continue
-            if use_coloring:
-                bound = _color_bound(network, active)
-                if bound < required - 1:
-                    continue
-            if stats is not None:
-                stats.instances += 1
-                ego_edges = ego_network_edge_count(working, u, allowed)
-                reduced_edges = _active_edge_count(network, active)
-                stats.record_reduction(
-                    ego_edges, network.num_edges, reduced_edges)
-            found = solve_mdc(
-                network, tau - 1, tau,
-                must_exceed=required - 2,
-                stats=stats,
-                check_only=check_only,
-                active=active,
-                use_coloring=use_coloring,
-                use_core=use_core,
-                engine=engine)
-        if found is None:
-            continue
-        left = {mapping[u]}
-        right: set[int] = set()
-        for v in found:
-            orig = mapping[network.origin[v]]
-            if network.is_left[v]:
-                left.add(orig)
-            else:
-                right.add(orig)
-        candidate = BalancedClique.from_sides(left, right)
-        if check_only:
-            return candidate
-        if candidate.size > best.size:
-            best = candidate
+                left = {mapping[u]}
+                right: set[int] = set()
+                for v in found:
+                    orig = mapping[network.origin[v]]
+                    if network.is_left[v]:
+                        left.add(orig)
+                    else:
+                        right.add(orig)
+                candidate = BalancedClique.from_sides(left, right)
+                if check_only:
+                    return candidate
+                if candidate.size > best.size:
+                    best = candidate
 
     if check_only:
         return EMPTY_RESULT

@@ -27,6 +27,7 @@ from ..dichromatic.dcc import dichromatic_clique_witness
 from ..kernels import validate_engine
 from ..kernels.active import active_edge_count_mask, bicore_active_mask, \
     degeneracy_ordering_mask
+from ..obs import Tracer, current_tracer
 from ..parallel.engine import pf_round_fanout, resolve_workers
 from ..signed.graph import SignedGraph
 from ..unsigned.graph import UnsignedGraph
@@ -45,8 +46,22 @@ def pf_enumeration(
     graph: SignedGraph,
     stats: SearchStats | None = None,
     node_limit: int | None = None,
+    trace: Tracer | None = None,
 ) -> int:
     """PF-E: polarization factor by exhaustive enumeration."""
+    tracer = trace if trace is not None else current_tracer()
+    with tracer.span("pf_enum", n=graph.num_vertices) as span:
+        best = _pf_enumeration(graph, stats, node_limit)
+        span.set(beta=best)
+    return best
+
+
+def _pf_enumeration(
+    graph: SignedGraph,
+    stats: SearchStats | None,
+    node_limit: int | None,
+) -> int:
+    """The PF-E recursion behind :func:`pf_enumeration`."""
     best = 0
     nodes = 0
 
@@ -103,6 +118,7 @@ def pf_binary_search(
     stats: SearchStats | None = None,
     engine: str = "bitset",
     parallel: int = 0,
+    trace: Tracer | None = None,
 ) -> int:
     """PF-BS: binary search on ``tau``, feasibility via MBC*.
 
@@ -111,17 +127,25 @@ def pf_binary_search(
     ``parallel`` is accepted for interface parity but the probes stay
     serial: ``check_only`` searches stop at the first witness.
     """
-    low = 0
-    high = polarization_upper_bound(graph)
-    while low < high:
-        mid = (low + high + 1) // 2
-        witness = mbc_star(
-            graph, mid, check_only=True, stats=stats, engine=engine,
-            parallel=parallel)
-        if witness.satisfies(mid) and not witness.is_empty:
-            low = mid
-        else:
-            high = mid - 1
+    tracer = trace if trace is not None else current_tracer()
+    with tracer.span("pf_bs", n=graph.num_vertices,
+                     engine=engine) as root:
+        low = 0
+        high = polarization_upper_bound(graph)
+        while low < high:
+            mid = (low + high + 1) // 2
+            with tracer.span("probe", tau=mid) as probe:
+                witness = mbc_star(
+                    graph, mid, check_only=True, stats=stats,
+                    engine=engine, parallel=parallel, trace=tracer)
+                feasible = witness.satisfies(mid) \
+                    and not witness.is_empty
+                probe.set(feasible=feasible)
+            if feasible:
+                low = mid
+            else:
+                high = mid - 1
+        root.set(beta=low)
     return low
 
 
@@ -132,6 +156,7 @@ def pf_star(
     return_witness: bool = False,
     engine: str = "bitset",
     parallel: int = 0,
+    trace: Tracer | None = None,
 ) -> "int | tuple[int, BalancedClique]":
     """PF* (Algorithm 4): the dichromatic-clique-checking algorithm.
 
@@ -169,109 +194,148 @@ def pf_star(
     if workers > 1 and engine != "bitset":
         raise ValueError("parallel execution requires the bitset engine")
 
+    tracer = trace if trace is not None else current_tracer()
+    root = tracer.span(
+        "pf_star", n=graph.num_vertices, engine=engine,
+        workers=workers, ordering=ordering)
+    with root:
+        tau_star, witness = _pf_pipeline(
+            graph, stats, ordering, engine, workers, tracer)
+        if tracer.enabled:
+            root.set(beta=tau_star)
+    if return_witness:
+        return tau_star, witness
+    return tau_star
+
+
+def _pf_pipeline(
+    graph: SignedGraph,
+    stats: SearchStats | None,
+    ordering: str,
+    engine: str,
+    workers: int,
+    tracer: Tracer,
+) -> "tuple[int, BalancedClique]":
+    """The PF* pipeline behind :func:`pf_star` (root span open)."""
     # Line 1: heuristic lower bound.
-    heuristic = mbc_heuristic(graph, 0, engine=engine)
-    tau_star = heuristic.polarization
-    witness = heuristic
+    with tracer.span("heuristic") as phase:
+        heuristic = mbc_heuristic(graph, 0, engine=engine)
+        tau_star = heuristic.polarization
+        witness = heuristic
+        phase.set(size=tau_star)
     if stats is not None:
         stats.heuristic_size = tau_star
 
     # Line 2: VertexReduction for tau* + 1.
-    alive = vertex_reduction(graph, tau_star + 1)
-    working, mapping = graph.subgraph(alive)
+    with tracer.span("vertex_reduction", n=graph.num_vertices) as phase:
+        alive = vertex_reduction(graph, tau_star + 1)
+        working, mapping = graph.subgraph(alive)
+        phase.set(kept=working.num_vertices)
 
     # Line 3: total ordering.
-    if ordering == "polarization":
-        order, pn = polar_core_numbers(working)
-    elif engine == "bitset":
-        unsigned = UnsignedGraph.from_signed_bits(working)
-        order = degeneracy_ordering_mask(
-            unsigned.adjacency_bits(), unsigned.all_bits())
-        pn = None
-    else:
-        order = degeneracy_ordering(UnsignedGraph.from_signed(working))
-        pn = None
+    with tracer.span("ordering", kind=ordering) as phase:
+        if ordering == "polarization":
+            order, pn = polar_core_numbers(working)
+        elif engine == "bitset":
+            unsigned = UnsignedGraph.from_signed_bits(working)
+            order = degeneracy_ordering_mask(
+                unsigned.adjacency_bits(), unsigned.all_bits())
+            pn = None
+        else:
+            order = degeneracy_ordering(
+                UnsignedGraph.from_signed(working))
+            pn = None
+        phase.set(n=len(order))
     rank = {v: position for position, v in enumerate(order)}
 
     # Parallel fan-out: rounds of concurrent +1 questions instead of
     # the serial sweep (identical beta(G); see repro.parallel).
     if workers > 1 and engine == "bitset":
-        tau_star, witness = pf_round_fanout(
+        return pf_round_fanout(
             working, mapping, order, pn, tau_star, witness, workers,
-            stats=stats)
-        if return_witness:
-            return tau_star, witness
-        return tau_star
+            stats=stats, trace=tracer)
 
     # Lines 4-8: reverse-order sweep with DCC checks.  As in MBC*, the
     # bitset engine accumulates the higher-ranked filter as a mask of
     # already-processed vertices.
-    allowed_mask = 0
-    for u in reversed(order):
-        if pn is not None and pn[u] <= tau_star:
-            break  # Lemma 5: pn(u) >= gamma(g_u); nothing later helps.
-        this_allowed_mask = allowed_mask
-        allowed_mask |= 1 << u
-        if stats is not None:
-            stats.vertices_examined += 1
-        if engine == "bitset":
-            network = build_dichromatic_network_bits(
-                working, u, this_allowed_mask)
-        else:
-            allowed = HigherRanked(rank, rank[u])
-            network = build_dichromatic_network(working, u, allowed)
-        # Line 6: (tau*+1, tau*+1)-core of g_u; thresholds shifted
-        # because u (an L-vertex adjacent to everyone) is excluded.
-        if engine == "bitset":
-            adj_bits = network.adjacency_bits()
-            left_bits = network.left_bits()
-            active_mask = bicore_active_mask(
-                adj_bits, left_bits, tau_star, tau_star + 1,
-                network.all_bits())
-            left_count = (active_mask & left_bits).bit_count()
-            right_count = active_mask.bit_count() - left_count
-        else:
-            active = bicore_active(
-                network, tau_star, tau_star + 1, set(network.vertices()))
-            left_count = sum(1 for v in active if network.is_left[v])
-            right_count = len(active) - left_count
-        # Line 7: u must itself survive in the core.
-        if left_count < tau_star or right_count < tau_star + 1:
-            continue
-        if stats is not None:
-            stats.instances += 1
-            if engine == "bitset":
-                ego_edges = ego_network_edge_count_bits(
-                    working, u, this_allowed_mask)
-                reduced = active_edge_count_mask(adj_bits, active_mask)
-            else:
-                ego_edges = ego_network_edge_count(working, u, allowed)
-                reduced = sum(
-                    len(network.neighbors(v) & active)
-                    for v in active) // 2
-            stats.record_reduction(
-                ego_edges, network.num_edges, reduced)
-        # Line 8: one +1 feasibility question per vertex (Lemma 4).
-        if engine == "bitset":
-            found = dichromatic_clique_witness(
-                network, tau_star, tau_star + 1, stats=stats,
-                engine=engine, active_mask=active_mask)
-        else:
-            found = dichromatic_clique_witness(
-                network, tau_star, tau_star + 1, stats=stats,
-                active=active, engine=engine)
-        if found is not None:
-            tau_star += 1
-            left = {mapping[u]}
-            right: set[int] = set()
-            for v in found:
-                orig = mapping[network.origin[v]]
-                if network.is_left[v]:
-                    left.add(orig)
+    with tracer.span("sweep", n=len(order)):
+        allowed_mask = 0
+        for u in reversed(order):
+            if pn is not None and pn[u] <= tau_star:
+                # Lemma 5: pn(u) >= gamma(g_u); nothing later helps.
+                break
+            with tracer.span("ego", v=mapping[u], bar=tau_star) as ego:
+                this_allowed_mask = allowed_mask
+                allowed_mask |= 1 << u
+                if stats is not None:
+                    stats.vertices_examined += 1
+                if engine == "bitset":
+                    network = build_dichromatic_network_bits(
+                        working, u, this_allowed_mask)
                 else:
-                    right.add(orig)
-            witness = BalancedClique.from_sides(left, right)
+                    allowed = HigherRanked(rank, rank[u])
+                    network = build_dichromatic_network(
+                        working, u, allowed)
+                # Line 6: (tau*+1, tau*+1)-core of g_u; thresholds
+                # shifted because u (an L-vertex adjacent to everyone)
+                # is excluded.
+                if engine == "bitset":
+                    adj_bits = network.adjacency_bits()
+                    left_bits = network.left_bits()
+                    active_mask = bicore_active_mask(
+                        adj_bits, left_bits, tau_star, tau_star + 1,
+                        network.all_bits())
+                    left_count = (active_mask & left_bits).bit_count()
+                    right_count = active_mask.bit_count() - left_count
+                else:
+                    active = bicore_active(
+                        network, tau_star, tau_star + 1,
+                        set(network.vertices()))
+                    left_count = sum(
+                        1 for v in active if network.is_left[v])
+                    right_count = len(active) - left_count
+                # Line 7: u must itself survive in the core.
+                if left_count < tau_star or right_count < tau_star + 1:
+                    ego.set(pruned="core")
+                    continue
+                ego.set(n=network.num_vertices)
+                if stats is not None:
+                    stats.instances += 1
+                    if engine == "bitset":
+                        ego_edges = ego_network_edge_count_bits(
+                            working, u, this_allowed_mask)
+                        reduced = active_edge_count_mask(
+                            adj_bits, active_mask)
+                    else:
+                        ego_edges = ego_network_edge_count(
+                            working, u, allowed)
+                        reduced = sum(
+                            len(network.neighbors(v) & active)
+                            for v in active) // 2
+                    stats.record_reduction(
+                        ego_edges, network.num_edges, reduced)
+                # Line 8: one +1 feasibility question per vertex
+                # (Lemma 4).
+                if engine == "bitset":
+                    found = dichromatic_clique_witness(
+                        network, tau_star, tau_star + 1, stats=stats,
+                        engine=engine, active_mask=active_mask,
+                        trace=tracer)
+                else:
+                    found = dichromatic_clique_witness(
+                        network, tau_star, tau_star + 1, stats=stats,
+                        active=active, engine=engine, trace=tracer)
+                ego.set(found=found is not None)
+                if found is not None:
+                    tau_star += 1
+                    left = {mapping[u]}
+                    right: set[int] = set()
+                    for v in found:
+                        orig = mapping[network.origin[v]]
+                        if network.is_left[v]:
+                            left.add(orig)
+                        else:
+                            right.add(orig)
+                    witness = BalancedClique.from_sides(left, right)
 
-    if return_witness:
-        return tau_star, witness
-    return tau_star
+    return tau_star, witness

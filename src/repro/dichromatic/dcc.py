@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from ..kernels import validate_engine
 from ..kernels.active import bicore_active_mask
 from ..kernels.bitset import mask_of
+from ..obs import Span, Tracer, current_tracer
 from .cores import bicore_active
 from .graph import DichromaticGraph
 
@@ -38,16 +39,18 @@ def dichromatic_clique_check(
     active: set[int] | None = None,
     engine: str = "bitset",
     active_mask: int | None = None,
+    trace: Tracer | None = None,
 ) -> bool:
     """True iff ``graph`` has a dichromatic clique meeting the quotas.
 
     ``active`` optionally restricts the search to a vertex subset
     (callers pass an already-core-reduced set); the bitset engine also
-    accepts it pre-packed as ``active_mask``.
+    accepts it pre-packed as ``active_mask``.  ``trace`` defaults to
+    the ambient tracer; each check closes one ``dcc`` span.
     """
     return dichromatic_clique_witness(
         graph, tau_l, tau_r, stats=stats, active=active,
-        engine=engine, active_mask=active_mask) is not None
+        engine=engine, active_mask=active_mask, trace=trace) is not None
 
 
 def dichromatic_clique_witness(
@@ -58,17 +61,41 @@ def dichromatic_clique_witness(
     active: set[int] | None = None,
     engine: str = "bitset",
     active_mask: int | None = None,
+    trace: Tracer | None = None,
 ) -> set[int] | None:
     """Like :func:`dichromatic_clique_check` but returns the witness
     clique (local vertex ids), or ``None`` when infeasible."""
     validate_engine(engine)
+    tracer = trace if trace is not None else current_tracer()
+    span = tracer.span(
+        "dcc", n=graph.num_vertices, tau_l=tau_l, tau_r=tau_r,
+        engine=engine)
+    with span:
+        found = _witness(graph, tau_l, tau_r, stats, active, engine,
+                         active_mask, span if tracer.enabled else None)
+        if tracer.enabled:
+            span.set(found=found is not None)
+    return found
+
+
+def _witness(
+    graph: DichromaticGraph,
+    tau_l: int,
+    tau_r: int,
+    stats: "SearchStats | None",
+    active: set[int] | None,
+    engine: str,
+    active_mask: int | None,
+    span: Span | None,
+) -> set[int] | None:
+    """Engine dispatch behind the public check (span already open)."""
     witness: list[int] = []
     if engine == "set":
         if active is None:
             active = set(graph.vertices())
         else:
             active = set(active)
-        if _check(graph, active, tau_l, tau_r, stats, witness):
+        if _check(graph, active, tau_l, tau_r, stats, witness, span):
             return set(witness)
         return None
     if active_mask is None:
@@ -78,7 +105,7 @@ def dichromatic_clique_witness(
             active_mask = mask_of(active)
     if _check_bits(
             graph.adjacency_bits(), graph.left_bits(), graph.num_vertices,
-            active_mask, tau_l, tau_r, stats, witness):
+            active_mask, tau_l, tau_r, stats, witness, span):
         return set(witness)
     return None
 
@@ -92,9 +119,12 @@ def _check_bits(
     tau_r: int,
     stats: "SearchStats | None",
     witness: list[int],
+    span: Span | None = None,
 ) -> bool:
     if stats is not None:
         stats.nodes += 1
+    if span is not None:
+        span.count("nodes")
     if tau_l == 0 and tau_r == 0:
         return True
     active = bicore_active_mask(adj, left_mask, tau_l, tau_r, active)
@@ -140,7 +170,7 @@ def _check_bits(
             next_l, next_r = tau_l, tau_r - 1
         witness.append(v)
         if _check_bits(adj, left_mask, num_vertices, adj[v] & active,
-                       next_l, next_r, stats, witness):
+                       next_l, next_r, stats, witness, span):
             return True
         witness.pop()
         pool &= ~bit
@@ -161,9 +191,12 @@ def _check(
     tau_r: int,
     stats: "SearchStats | None",
     witness: list[int] | None,
+    span: Span | None = None,
 ) -> bool:
     if stats is not None:
         stats.nodes += 1
+    if span is not None:
+        span.count("nodes")
     if tau_l == 0 and tau_r == 0:
         return True
     active = bicore_active(graph, tau_l, tau_r, active)
@@ -191,7 +224,7 @@ def _check(
         if witness is not None:
             witness.append(v)
         if _check(graph, graph.neighbors(v) & active,
-                  next_l, next_r, stats, witness):
+                  next_l, next_r, stats, witness, span):
             return True
         if witness is not None:
             witness.pop()

@@ -43,6 +43,7 @@ from ..kernels.active import (
     k_core_active_mask,
 )
 from ..kernels.bitset import mask_of
+from ..obs import Span, Tracer, current_tracer
 from .cores import coloring_upper_bound_active, k_core_active
 from .graph import DichromaticGraph
 
@@ -72,6 +73,7 @@ def solve_mdc(
     use_core: bool = True,
     engine: str = "bitset",
     active_mask: int | None = None,
+    trace: Tracer | None = None,
 ) -> set[int] | None:
     """Solve one maximum-dichromatic-clique instance.
 
@@ -105,6 +107,10 @@ def solve_mdc(
         Bitset-engine fast path for ``active``: callers that already
         hold the active set as a mask (MBC* after its mask-based core
         reduction) pass it here to skip a set/mask round-trip.
+    trace:
+        Optional :class:`repro.obs.Tracer`; defaults to the ambient
+        tracer.  Each instance closes one ``mdc`` span recording the
+        instance size, thresholds, branch count and outcome.
 
     Returns
     -------
@@ -112,10 +118,43 @@ def solve_mdc(
         Best qualifying clique (local vertex ids), or ``None``.
     """
     validate_engine(engine)
+    tracer = trace if trace is not None else current_tracer()
+    span = tracer.span(
+        "mdc", n=graph.num_vertices, tau_l=tau_l, tau_r=tau_r,
+        must_exceed=must_exceed, engine=engine)
+    with span:
+        found = _solve(
+            graph, tau_l, tau_r, must_exceed, stats, check_only,
+            active, use_coloring, use_core, engine, active_mask,
+            span if tracer.enabled else None)
+        if tracer.enabled:
+            span.set(found=found is not None)
+            nodes = span.attrs.get("nodes", 0)
+            assert isinstance(nodes, int)
+            tracer.histogram("mdc.nodes").observe(nodes)
+    return found
+
+
+def _solve(
+    graph: DichromaticGraph,
+    tau_l: int,
+    tau_r: int,
+    must_exceed: int,
+    stats: "SearchStats | None",
+    check_only: bool,
+    active: set[int] | None,
+    use_coloring: bool,
+    use_core: bool,
+    engine: str,
+    active_mask: int | None,
+    span: Span | None,
+) -> set[int] | None:
+    """Engine dispatch behind :func:`solve_mdc` (span already open)."""
     if engine == "set":
         state = _State(graph, must_exceed, stats)
         state.use_coloring = use_coloring
         state.use_core = use_core
+        state.span = span
         if active is None:
             active = set(graph.vertices())
         else:
@@ -134,6 +173,7 @@ def solve_mdc(
     state_b = _BitsetState(graph, must_exceed, stats)
     state_b.use_coloring = use_coloring
     state_b.use_core = use_core
+    state_b.span = span
     try:
         state_b.search([], active_mask, tau_l, tau_r, check_only)
     except FeasibleFound as found:
@@ -164,6 +204,7 @@ class _BitsetState:
         self.stats = stats
         self.use_coloring = True
         self.use_core = True
+        self.span: Span | None = None
 
     def search(
         self,
@@ -176,6 +217,8 @@ class _BitsetState:
         adj = self.adj
         if self.stats is not None:
             self.stats.nodes += 1
+        if self.span is not None:
+            self.span.count("nodes")
         if tau_l <= 0 and tau_r <= 0:
             if check_only:
                 # Boundary materialisation: the found clique leaves the
@@ -265,6 +308,7 @@ class _State:
         self.stats = stats
         self.use_coloring = True
         self.use_core = True
+        self.span: Span | None = None
 
     def search(
         self,
@@ -277,6 +321,8 @@ class _State:
         graph = self.graph
         if self.stats is not None:
             self.stats.nodes += 1
+        if self.span is not None:
+            self.span.count("nodes")
         if tau_l <= 0 and tau_r <= 0:
             if check_only:
                 raise FeasibleFound(set(clique))

@@ -15,12 +15,16 @@ by the graph classes (``DichromaticGraph.adjacency_bits`` /
 ``UnsignedGraph.adjacency_bits``).
 
 This module is deliberately free of any graph-class imports so the
-kernel layer never participates in import cycles.
+kernel layer never participates in import cycles (:mod:`repro.obs`
+sits *below* the kernels and is the one sanctioned exception — the
+mask builders report their cost to the ambient tracer).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
+
+from ..obs import current_tracer
 
 __all__ = [
     "mask_of",
@@ -83,7 +87,8 @@ def lowest_set_bit(mask: int) -> int:
 
 def adjacency_masks(neighborhoods: Sequence[Iterable[int]]) -> list[int]:
     """Per-vertex neighbourhood masks from per-vertex neighbour sets."""
-    return [mask_of(adj) for adj in neighborhoods]
+    with current_tracer().span("adjacency_masks", n=len(neighborhoods)):
+        return [mask_of(adj) for adj in neighborhoods]
 
 
 def left_side_mask(is_left: Sequence[bool]) -> int:
@@ -108,17 +113,20 @@ def masks_to_bytes(masks: Sequence[int], n: int) -> bytes:
     blob is a flat ``bytes`` object, so pickling it costs one memcpy
     instead of one arbitrary-precision-int reduction per vertex.
     """
-    stride = mask_stride(n)
-    return b"".join(mask.to_bytes(stride, "little") for mask in masks)
+    with current_tracer().span("masks_to_bytes", n=n):
+        stride = mask_stride(n)
+        return b"".join(
+            mask.to_bytes(stride, "little") for mask in masks)
 
 
 def masks_from_bytes(blob: bytes, n: int) -> list[int]:
     """Inverse of :func:`masks_to_bytes`."""
-    stride = mask_stride(n)
-    if len(blob) != stride * n and n > 0:
-        raise ValueError(
-            f"blob of {len(blob)} bytes does not hold {n} masks "
-            f"of stride {stride}")
-    return [
-        int.from_bytes(blob[i * stride:(i + 1) * stride], "little")
-        for i in range(n)]
+    with current_tracer().span("masks_from_bytes", n=n):
+        stride = mask_stride(n)
+        if len(blob) != stride * n and n > 0:
+            raise ValueError(
+                f"blob of {len(blob)} bytes does not hold {n} masks "
+                f"of stride {stride}")
+        return [
+            int.from_bytes(blob[i * stride:(i + 1) * stride], "little")
+            for i in range(n)]

@@ -1,0 +1,73 @@
+"""repro.obs — structured tracing, solver metrics & profiling hooks.
+
+A zero-dependency observability layer the whole solver stack threads
+through (see ``docs/OBSERVABILITY.md``):
+
+* :class:`Tracer` — nestable wall-time spans plus named
+  :class:`Counter` / :class:`Histogram` metrics;
+* :data:`NULL_TRACER` / :class:`NullTracer` — the no-op default, so an
+  untraced solve pays one method call per instrumentation site and
+  never allocates a :class:`Span`;
+* :class:`TraceBuffer` — the picklable worker-side snapshot that
+  :meth:`Tracer.absorb` merges back into a parent tracer (the
+  parallel engine ships one per chunk, next to ``SearchStats``);
+* :func:`write_jsonl` / :func:`validate_trace_lines` — the versioned
+  JSONL event sink and its executable schema;
+* :func:`render_tree` — the human-readable span-tree reporter behind
+  the CLI's ``--profile``;
+* :func:`get_tracer` / :func:`install_tracer` / :func:`current_tracer`
+  — the factory and the process-ambient tracer slot (the only
+  sanctioned ways to obtain a tracer inside the stack; lint rule
+  R008).
+
+This package sits *below* every solver layer — even
+:mod:`repro.kernels` imports it — and therefore imports nothing from
+the rest of the package.
+"""
+
+from .metrics import Counter, Histogram
+from .runtime import current_tracer, get_tracer, install_tracer
+from .sink import (
+    SCHEMA_VERSION,
+    dump_jsonl,
+    render_tree,
+    render_tree_from_records,
+    span_time_coverage,
+    trace_events,
+    validate_trace_file,
+    validate_trace_lines,
+    write_jsonl,
+)
+from .tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    TraceBuffer,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "NullTracer",
+    "TraceBuffer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "SCHEMA_VERSION",
+    "get_tracer",
+    "install_tracer",
+    "current_tracer",
+    "trace_events",
+    "dump_jsonl",
+    "write_jsonl",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "render_tree",
+    "render_tree_from_records",
+    "span_time_coverage",
+]

@@ -1,0 +1,165 @@
+"""Metric primitives: monotonic counters and fixed-bucket histograms.
+
+Both are deliberately minimal — zero dependencies, plain-data state —
+because their snapshots cross process boundaries inside a
+:class:`~repro.obs.tracer.TraceBuffer` (the parallel workers export
+their metrics next to their spans) and land verbatim in the JSONL
+trace sink.  Null variants back the disabled tracer so instrumented
+code never branches on "is tracing on?".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "NullCounter",
+    "NullHistogram",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "DEFAULT_BUCKET_BOUNDS",
+]
+
+#: Decade bounds covering the quantities the solvers observe — node
+#: counts, network sizes, span durations in seconds.  A sample falls in
+#: the first bucket whose bound is ``>= value``; larger samples land in
+#: the implicit overflow bucket ``"inf"``.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+    1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6)
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative: counters only move up)."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+    def snapshot(self) -> int:
+        """Plain-data state for buffers and sinks."""
+        return self.value
+
+    def absorb(self, value: int) -> None:
+        """Fold another process's snapshot into this counter."""
+        self.inc(value)
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with count/total/min/max summary.
+
+    Bounds are upper-inclusive: a sample ``x`` increments the bucket of
+    the smallest bound ``b`` with ``x <= b``; samples above every bound
+    go to the overflow bucket.  The summary fields make averages
+    recoverable from a snapshot without the raw samples.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS,
+    ) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be ascending")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        """Average sample, or ``None`` with no samples."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-data state for buffers and sinks."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    def absorb(self, state: dict[str, object]) -> None:
+        """Fold another process's snapshot into this histogram."""
+        bounds = state["bounds"]
+        if tuple(bounds) != self.bounds:  # type: ignore[arg-type]
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshots with "
+                f"different bucket bounds")
+        buckets = state["buckets"]
+        assert isinstance(buckets, list)
+        for i, n in enumerate(buckets):
+            self.buckets[i] += n
+        count = state["count"]
+        total = state["total"]
+        assert isinstance(count, int) and isinstance(total, float)
+        self.count += count
+        self.total += total
+        for key in ("min", "max"):
+            other = state[key]
+            if other is None:
+                continue
+            assert isinstance(other, (int, float))
+            mine = getattr(self, key)
+            if mine is None:
+                setattr(self, key, float(other))
+            elif key == "min":
+                setattr(self, key, min(mine, float(other)))
+            else:
+                setattr(self, key, max(mine, float(other)))
+
+
+class NullCounter(Counter):
+    """No-op counter handed out by the disabled tracer."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    """No-op histogram handed out by the disabled tracer."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instances (one allocation for the process lifetime).
+NULL_COUNTER = NullCounter("null")
+NULL_HISTOGRAM = NullHistogram("null")

@@ -1,0 +1,59 @@
+"""The tracer factory and the process-ambient tracer.
+
+Every tracer in the solver stack comes from here (lint rule R008):
+
+* :func:`get_tracer` — construct a live :class:`Tracer` (or the shared
+  :data:`~repro.obs.tracer.NULL_TRACER` when ``enabled`` is false);
+  the parallel chunk runners use it to build their per-process
+  tracers.
+* :func:`install_tracer` / :func:`current_tracer` — the ambient
+  tracer.  Solver entry points that receive ``trace=None`` fall back
+  to ``current_tracer()``, which is how the CLI's ``--trace`` flag and
+  the benchmarks' ``REPRO_TRACE`` hook attach a tracer to code they do
+  not call directly (e.g. the kernel-layer mask-build spans).
+
+The ambient slot is deliberately a single process-global (not a
+context variable): one solve at a time is the repo's execution model,
+worker processes get a fresh slot by construction, and a plain global
+keeps ``current_tracer()`` a dict-free attribute lookup on the
+disabled hot path.
+"""
+
+from __future__ import annotations
+
+from .tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "get_tracer",
+    "install_tracer",
+    "current_tracer",
+]
+
+_AMBIENT: Tracer | None = None
+
+
+def get_tracer(enabled: bool = True) -> Tracer:
+    """A fresh live tracer, or the shared null tracer when disabled."""
+    if not enabled:
+        return NULL_TRACER
+    return Tracer()
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Set the ambient tracer; returns the previous one.
+
+    Pass ``None`` to clear.  Callers that install should restore the
+    previous value when done (the CLI and the benchmark hook do).
+    """
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = tracer
+    return previous
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer, or the shared null tracer when none is
+    installed.  Never returns ``None`` — instrumented code can call
+    ``current_tracer().span(...)`` unconditionally."""
+    tracer = _AMBIENT
+    return tracer if tracer is not None else NULL_TRACER

@@ -1,0 +1,295 @@
+"""Trace sinks: the JSONL event stream and the span-tree reporter.
+
+The JSONL schema (version :data:`SCHEMA_VERSION`, documented in
+``docs/OBSERVABILITY.md``) is one JSON object per line:
+
+* line 1 — the meta header::
+
+      {"type": "meta", "schema": "repro.obs/1", "span_count": N,
+       "counter_count": C, "histogram_count": H}
+
+* one line per closed span, in id order::
+
+      {"type": "span", "id": 3, "parent": 1, "name": "ego",
+       "start": 0.0012, "elapsed": 0.0007, "attrs": {"v": 17}}
+
+* one line per counter and histogram, name-sorted, after the spans.
+
+:func:`validate_trace_lines` is the schema's executable definition —
+the CI smoke step and the tests validate every produced trace with it
+rather than against a prose spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+from .tracer import Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "trace_events",
+    "write_jsonl",
+    "dump_jsonl",
+    "validate_trace_lines",
+    "validate_trace_file",
+    "render_tree",
+    "render_tree_from_records",
+    "span_time_coverage",
+]
+
+#: Version tag carried by every trace file; bump on any breaking
+#: change to the event layout.
+SCHEMA_VERSION = "repro.obs/1"
+
+#: JSON scalar types allowed as span attribute values.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's output as schema-ordered event dicts."""
+    spans = sorted(tracer.records, key=lambda r: r["id"])
+    counters = tracer.counters_snapshot()
+    histograms = tracer.histograms_snapshot()
+    events: list[dict] = [{
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "span_count": len(spans),
+        "counter_count": len(counters),
+        "histogram_count": len(histograms),
+    }]
+    for record in spans:
+        events.append({"type": "span", **record})
+    for name, value in counters.items():
+        events.append({"type": "counter", "name": name, "value": value})
+    for name, state in histograms.items():
+        events.append({"type": "histogram", "name": name, **state})
+    return events
+
+
+def dump_jsonl(tracer: Tracer, stream: IO[str]) -> int:
+    """Write the trace to an open text stream; returns the line count."""
+    events = trace_events(tracer)
+    for event in events:
+        stream.write(json.dumps(event, separators=(",", ":")))
+        stream.write("\n")
+    return len(events)
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the trace to ``path``; returns the line count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return dump_jsonl(tracer, handle)
+
+
+def _check_span(event: dict, seen_ids: set[int]) -> list[str]:
+    errors: list[str] = []
+    span_id = event.get("id")
+    if not isinstance(span_id, int) or span_id < 0:
+        return [f"span has invalid id {span_id!r}"]
+    if span_id in seen_ids:
+        errors.append(f"span id {span_id} duplicated")
+    parent = event.get("parent")
+    if parent is not None:
+        if not isinstance(parent, int):
+            errors.append(f"span {span_id}: non-int parent {parent!r}")
+        elif parent not in seen_ids:
+            errors.append(
+                f"span {span_id}: parent {parent} not seen earlier "
+                f"(parents must precede children in id order)")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"span {span_id}: invalid name {name!r}")
+    for key in ("start", "elapsed"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(
+                value, bool) or value < 0:
+            errors.append(
+                f"span {span_id}: {key} must be a non-negative "
+                f"number, got {value!r}")
+    attrs = event.get("attrs")
+    if not isinstance(attrs, dict):
+        errors.append(f"span {span_id}: attrs must be an object")
+    else:
+        for key, value in attrs.items():
+            if not isinstance(key, str):
+                errors.append(f"span {span_id}: non-string attr key")
+            if not isinstance(value, _SCALARS):
+                errors.append(
+                    f"span {span_id}: attr {key!r} must be a JSON "
+                    f"scalar, got {type(value).__name__}")
+    return errors
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Validate a JSONL trace; returns a list of problems (empty = ok)."""
+    errors: list[str] = []
+    events: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(event, dict):
+            errors.append(f"line {number}: not a JSON object")
+            continue
+        events.append(event)
+    if not events:
+        return errors + ["empty trace: missing meta header"]
+
+    meta = events[0]
+    if meta.get("type") != "meta":
+        errors.append("first event must be the meta header")
+    elif meta.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"unsupported schema {meta.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION!r})")
+
+    seen_ids: set[int] = set()
+    counts = {"span": 0, "counter": 0, "histogram": 0}
+    for event in events[1:]:
+        kind = event.get("type")
+        if kind == "span":
+            errors.extend(_check_span(event, seen_ids))
+            if isinstance(event.get("id"), int):
+                seen_ids.add(event["id"])
+            counts["span"] += 1
+        elif kind == "counter":
+            if not isinstance(event.get("name"), str):
+                errors.append(f"counter with invalid name: {event!r}")
+            if not isinstance(event.get("value"), int):
+                errors.append(
+                    f"counter {event.get('name')!r}: non-int value")
+            counts["counter"] += 1
+        elif kind == "histogram":
+            if not isinstance(event.get("name"), str):
+                errors.append(f"histogram with invalid name: {event!r}")
+            for key in ("count", "total", "bounds", "buckets"):
+                if key not in event:
+                    errors.append(
+                        f"histogram {event.get('name')!r}: "
+                        f"missing {key!r}")
+            counts["histogram"] += 1
+        elif kind == "meta":
+            errors.append("meta header repeated mid-stream")
+        else:
+            errors.append(f"unknown event type {kind!r}")
+    for kind, key in (("span", "span_count"),
+                      ("counter", "counter_count"),
+                      ("histogram", "histogram_count")):
+        declared = meta.get(key)
+        if isinstance(declared, int) and declared != counts[kind]:
+            errors.append(
+                f"meta declares {declared} {kind} events, "
+                f"found {counts[kind]}")
+    return errors
+
+
+def validate_trace_file(path: str) -> int:
+    """Validate a trace file; raises ``ValueError`` on any problem.
+
+    Returns the number of span events (handy for smoke assertions).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    errors = validate_trace_lines(lines)
+    if errors:
+        preview = "; ".join(errors[:5])
+        raise ValueError(
+            f"invalid trace {path!r}: {len(errors)} problem(s): "
+            f"{preview}")
+    return sum(
+        1 for line in lines
+        if line.strip() and json.loads(line).get("type") == "span")
+
+
+def _format_elapsed(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    body = ", ".join(
+        f"{key}={value}" for key, value in sorted(attrs.items()))
+    return f" ({body})"
+
+
+def render_tree_from_records(records: Sequence[dict],
+                             max_children: int = 40) -> str:
+    """Human-readable span tree from flat span records.
+
+    Sibling lists longer than ``max_children`` are elided with a
+    summary line so the per-ego sweeps stay readable.
+    """
+    by_parent: dict[int | None, list[dict]] = {}
+    for record in sorted(records, key=lambda r: r["id"]):
+        by_parent.setdefault(record["parent"], []).append(record)
+    known = {record["id"] for record in records}
+    roots = [r for r in sorted(records, key=lambda r: r["id"])
+             if r["parent"] is None or r["parent"] not in known]
+    lines: list[str] = []
+
+    def walk(record: dict, depth: int) -> None:
+        lines.append(
+            "  " * depth
+            + f"{record['name']}{_format_attrs(record['attrs'])}"
+            + f"  [{_format_elapsed(record['elapsed'])}]")
+        children = by_parent.get(record["id"], [])
+        shown = children[:max_children]
+        for child in shown:
+            walk(child, depth + 1)
+        hidden = len(children) - len(shown)
+        if hidden > 0:
+            remainder = sum(c["elapsed"] for c in children[max_children:])
+            lines.append(
+                "  " * (depth + 1)
+                + f"... {hidden} more spans "
+                + f"[{_format_elapsed(remainder)}]")
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_tree(tracer: Tracer, max_children: int = 40) -> str:
+    """Human-readable span tree of a tracer's closed spans."""
+    tree = render_tree_from_records(
+        tracer.records, max_children=max_children)
+    counters = tracer.counters_snapshot()
+    if counters:
+        parts = ", ".join(
+            f"{name}={value}" for name, value in counters.items())
+        tree = tree + ("\n" if tree else "") + f"counters: {parts}"
+    return tree
+
+
+def span_time_coverage(records: Sequence[dict],
+                       parent_name: str,
+                       child_name: str) -> float:
+    """Fraction of ``parent_name`` span time covered by its
+    ``child_name`` children.
+
+    The decomposition metric behind the acceptance check: the per-ego
+    spans of a serial sweep must account for (nearly) all of the
+    sweep's wall time, otherwise the trace is hiding where time goes.
+    Returns 1.0 when there are no matching parents with positive
+    elapsed time.
+    """
+    parents = {r["id"]: r for r in records if r["name"] == parent_name}
+    total = sum(r["elapsed"] for r in parents.values())
+    if total <= 0.0:
+        return 1.0
+    covered = sum(
+        r["elapsed"] for r in records
+        if r["name"] == child_name and r["parent"] in parents)
+    return covered / total

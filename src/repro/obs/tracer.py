@@ -1,0 +1,336 @@
+"""Nestable-span tracer, its no-op twin, and the worker trace buffer.
+
+Design constraints (see ``docs/OBSERVABILITY.md``):
+
+* **zero dependencies** — the tracer sits *below* every solver layer
+  (even :mod:`repro.kernels` spans its mask builds), so it imports
+  nothing from the package;
+* **near-zero disabled cost** — the default tracer is
+  :data:`NULL_TRACER`, whose ``span()`` returns a shared no-op context
+  manager; no :class:`Span` is ever allocated on the disabled path
+  (asserted by a guard test that counts ``Span`` constructions);
+* **picklable hand-off** — a worker process traces into its own
+  :class:`Tracer` and exports a :class:`TraceBuffer` of plain lists
+  and dicts; the parent's :meth:`Tracer.absorb` renumbers the ids and
+  grafts the worker spans under its currently open span.
+
+Span records are flat dicts (not objects) the moment a span closes::
+
+    {"id": 3, "parent": 1, "name": "ego", "start": 0.0012,
+     "elapsed": 0.0007, "attrs": {"v": 17}}
+
+``id`` is assigned at span *entry* (so a parent's id is always smaller
+than its children's), ``start`` is seconds since the tracer's epoch on
+the injected monotonic clock, and ``attrs`` holds only JSON scalars.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Callable
+
+from .metrics import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    Counter,
+    Histogram,
+    NullCounter,
+    NullHistogram,
+)
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "NullTracer",
+    "TraceBuffer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+]
+
+@dataclass
+class TraceBuffer:
+    """Serializable snapshot of one tracer's output.
+
+    The parallel chunk runners return one of these next to their
+    :class:`~repro.core.stats.SearchStats` delta; everything inside is
+    plain data, so pickling it for the pool result queue is cheap.
+    """
+
+    spans: list[dict] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether absorbing this buffer would be a no-op."""
+        return not (self.spans or self.counters or self.histograms)
+
+
+class Span:
+    """One open span; a context manager handed out by ``Tracer.span``.
+
+    Entry registers the span with its tracer (id assignment, parent
+    linkage, start timestamp); exit closes it and appends the flat
+    record to the tracer.  ``set``/``count`` mutate the attribute dict
+    while the span is open.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "id", "parent", "start",
+                 "_entered")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.id = -1
+        self.parent: int | None = None
+        self.start = 0.0
+        self._entered = False
+
+    def set(self, **attrs: object) -> "Span":
+        """Merge attributes into the span; returns ``self``."""
+        self.attrs.update(attrs)
+        return self
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment an integer attribute on the span by ``n``."""
+        current = self.attrs.get(name, 0)
+        assert isinstance(current, int)
+        self.attrs[name] = current + n
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        self._entered = True
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._tracer._close(self)
+
+
+class NullSpan(Span):
+    """Shared no-op span returned by the disabled tracer.
+
+    A single module-level instance (:data:`NULL_SPAN`) serves every
+    ``NullTracer.span`` call, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "Span":
+        return self
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        pass
+
+
+class Tracer:
+    """Structured tracer: nestable spans plus named metrics.
+
+    Do not construct directly from solver code — obtain one through the
+    :mod:`repro.obs` factory (:func:`repro.obs.get_tracer` /
+    :func:`repro.obs.current_tracer`); the R008 lint rule enforces
+    this so every tracer in the stack is observable by the sinks.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source; injectable so tests can drive spans
+        deterministically.  Defaults to :func:`time.perf_counter`.
+    """
+
+    #: Disabled tracers skip every recording branch; instrumented code
+    #: may consult this to avoid computing expensive attributes.
+    enabled: bool = True
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._next_id = 0
+        self._stack: list[Span] = []
+        self.records: list[dict] = []
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span context manager nested under the open span."""
+        return Span(self, name, attrs)
+
+    def _open(self, span: Span) -> None:
+        span.id = self._next_id
+        self._next_id += 1
+        span.parent = self._stack[-1].id if self._stack else None
+        self._stack.append(span)
+        span.start = self._clock() - self._epoch
+
+    def _close(self, span: Span) -> None:
+        elapsed = self._clock() - self._epoch - span.start
+        top = self._stack.pop()
+        assert top is span, (
+            f"span {span.name!r} closed while {top.name!r} is open — "
+            f"spans must nest")
+        self.records.append({
+            "id": span.id,
+            "parent": span.parent,
+            "name": span.name,
+            "start": span.start,
+            "elapsed": elapsed,
+            "attrs": span.attrs,
+        })
+
+    @property
+    def open_span_id(self) -> int | None:
+        """Id of the innermost open span (``None`` outside any span)."""
+        return self._stack[-1].id if self._stack else None
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Cross-process hand-off
+    # ------------------------------------------------------------------
+    def export_buffer(self) -> TraceBuffer:
+        """Snapshot closed spans and metrics as plain data."""
+        return TraceBuffer(
+            spans=list(self.records),
+            counters={name: c.snapshot()
+                      for name, c in self._counters.items()},
+            histograms={name: h.snapshot()
+                        for name, h in self._histograms.items()},
+        )
+
+    def absorb(self, buffer: "TraceBuffer | None",
+               **attrs: object) -> None:
+        """Graft a worker's buffer into this tracer.
+
+        Span ids are renumbered after this tracer's, parent links are
+        remapped, and the buffer's top-level spans are re-parented
+        under the currently open span (with ``attrs`` merged into
+        them, e.g. a chunk tag).  Worker ``start`` offsets are kept
+        process-local — they are relative to the *worker's* epoch and
+        are not comparable to the parent timeline.
+        """
+        if buffer is None or buffer.is_empty:
+            return
+        remap: dict[int, int] = {}
+        graft_parent = self.open_span_id
+        ordered = sorted(buffer.spans, key=lambda r: r["id"])
+        for record in ordered:
+            remap[record["id"]] = self._next_id
+            self._next_id += 1
+        for record in ordered:
+            parent = record["parent"]
+            top_level = parent is None or parent not in remap
+            copied = {
+                "id": remap[record["id"]],
+                "parent": graft_parent if top_level else remap[parent],
+                "name": record["name"],
+                "start": record["start"],
+                "elapsed": record["elapsed"],
+                "attrs": dict(record["attrs"]),
+            }
+            if top_level and attrs:
+                copied["attrs"].update(attrs)
+            self.records.append(copied)
+        for name, value in buffer.counters.items():
+            self.counter(name).absorb(value)
+        for name, state in buffer.histograms.items():
+            self.histogram(name).absorb(state)
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Current counter values keyed by name (sorted)."""
+        return {name: self._counters[name].value
+                for name in sorted(self._counters)}
+
+    def histograms_snapshot(self) -> dict[str, dict]:
+        """Current histogram states keyed by name (sorted)."""
+        return {name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)}
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a cheap no-op.
+
+    ``span()`` hands back the shared :data:`NULL_SPAN` without
+    allocating, and the metric accessors return the shared null
+    instances, so instrumented hot paths pay one method call per
+    site when tracing is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        # Deliberately skip Tracer.__init__: the null tracer records
+        # nothing and must not touch the clock.
+        self.records = []
+
+    def span(self, name: str, **attrs: object) -> Span:
+        return NULL_SPAN
+
+    def counter(self, name: str) -> Counter:
+        return NULL_COUNTER
+
+    def histogram(self, name: str) -> Histogram:
+        return NULL_HISTOGRAM
+
+    @property
+    def open_span_id(self) -> int | None:
+        return None
+
+    def export_buffer(self) -> TraceBuffer:
+        return TraceBuffer()
+
+    def absorb(self, buffer: "TraceBuffer | None",
+               **attrs: object) -> None:
+        pass
+
+    def counters_snapshot(self) -> dict[str, int]:
+        return {}
+
+    def histograms_snapshot(self) -> dict[str, dict]:
+        return {}
+
+
+#: Shared singletons: the disabled tracer and its span.  ``NULL_SPAN``
+#: is constructed against a throwaway NullTracer so the ``Span``
+#: constructor contract holds, but it never registers anywhere.
+NULL_TRACER = NullTracer()
+NULL_SPAN = NullSpan(NULL_TRACER, "null", {})

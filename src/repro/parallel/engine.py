@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from ..core.result import BalancedClique
 from ..core.stats import SearchStats
+from ..obs import Tracer, current_tracer
 from ..signed.graph import SignedGraph
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -135,6 +136,7 @@ def mbc_ego_fanout(
     use_core: bool = True,
     use_coloring: bool = True,
     stats: SearchStats | None = None,
+    trace: Tracer | None = None,
 ) -> BalancedClique:
     """Run MBC*'s ego-network sweep as a parallel fan-out.
 
@@ -142,8 +144,11 @@ def mbc_ego_fanout(
     Algorithm 2: ``working`` is the reduced graph, ``mapping`` its
     vertex translation back to the caller's graph, ``best`` the
     incumbent (heuristic or caller-seeded), ``order`` the processing
-    order over the ``|C*|``-core.
+    order over the ``|C*|``-core.  A live ``trace`` asks the workers
+    for per-chunk :class:`~repro.obs.TraceBuffer` deltas, absorbed
+    under one ``fanout`` span as chunk results arrive.
     """
+    tracer = trace if trace is not None else current_tracer()
     pos_bits = working.pos_adjacency_bits()
     neg_bits = working.neg_adjacency_bits()
     tasks = plan_tasks(pos_bits, neg_bits, order)
@@ -165,7 +170,7 @@ def mbc_ego_fanout(
     ctx_obj = WorkerContext(
         pos_bits, neg_bits, working.num_vertices, tau, order, incumbent,
         use_core=use_core, use_coloring=use_coloring,
-        want_stats=stats is not None)
+        want_stats=stats is not None, want_trace=tracer.enabled)
     chunks = chunk_vertices([t.u for t in viable], workers)
 
     pool = None
@@ -175,16 +180,20 @@ def mbc_ego_fanout(
     try:
         best_witness = None
         best_size = best.size
-        for witness, chunk_stats, _examined, _skipped in _run_chunks(
-                pool, run_mdc_chunk, chunks, ctx_obj):
-            if chunk_stats is not None and stats is not None:
-                stats.merge(chunk_stats)
-            if witness is not None:
-                u, members = witness
-                size = len(members) + 1
-                if size > best_size:
-                    best_size = size
-                    best_witness = witness
+        with tracer.span("fanout", tasks=len(viable), workers=workers,
+                         pooled=pool is not None):
+            for witness, chunk_stats, buffer, _examined, _skipped \
+                    in _run_chunks(pool, run_mdc_chunk, chunks, ctx_obj):
+                if chunk_stats is not None and stats is not None:
+                    stats.merge(chunk_stats)
+                if buffer is not None:
+                    tracer.absorb(buffer)
+                if witness is not None:
+                    u, members = witness
+                    size = len(members) + 1
+                    if size > best_size:
+                        best_size = size
+                        best_witness = witness
     finally:
         if pool is not None:
             pool.close()
@@ -213,6 +222,7 @@ def pf_round_fanout(
     witness: BalancedClique,
     workers: int,
     stats: SearchStats | None = None,
+    trace: Tracer | None = None,
 ) -> tuple[int, BalancedClique]:
     """Run PF*'s DCC sweep as rounds of parallel +1 questions.
 
@@ -224,8 +234,10 @@ def pf_round_fanout(
     good, while successes raise ``tau*`` and stay pending.  The
     fixpoint is exactly ``beta(G) = max_u gamma(g_u)``, independent of
     scheduling — each round needs only monotone bars, which the shared
-    incumbent guarantees.
+    incumbent guarantees.  A live ``trace`` wraps each round in a
+    ``round`` span and absorbs the workers' trace deltas under it.
     """
+    tracer = trace if trace is not None else current_tracer()
     pos_bits = working.pos_adjacency_bits()
     neg_bits = working.neg_adjacency_bits()
     method = preferred_start_method()
@@ -235,7 +247,7 @@ def pf_round_fanout(
         else None)
     ctx_obj = WorkerContext(
         pos_bits, neg_bits, working.num_vertices, 0, order, incumbent,
-        want_stats=stats is not None)
+        want_stats=stats is not None, want_trace=tracer.enabled)
 
     pending = [u for u in reversed(order)]
     pool = None
@@ -254,11 +266,17 @@ def pf_round_fanout(
             chunks = [(tau_star, chunk)
                       for chunk in chunk_vertices(pending, workers)]
             round_successes: list[tuple[int, int, list]] = []
-            for successes, chunk_stats, _examined in _run_chunks(
-                    pool, run_dcc_chunk, chunks, ctx_obj):
-                if chunk_stats is not None and stats is not None:
-                    stats.merge(chunk_stats)
-                round_successes.extend(successes)
+            with tracer.span("round", bar=tau_star,
+                             pending=len(pending)) as round_span:
+                for successes, chunk_stats, buffer, _examined \
+                        in _run_chunks(
+                            pool, run_dcc_chunk, chunks, ctx_obj):
+                    if chunk_stats is not None and stats is not None:
+                        stats.merge(chunk_stats)
+                    if buffer is not None:
+                        tracer.absorb(buffer)
+                    round_successes.extend(successes)
+                round_span.set(successes=len(round_successes))
             if not round_successes:
                 break
             new_tau = max(bar + 1 for _u, bar, _m in round_successes)

@@ -42,6 +42,7 @@ from ..kernels.active import (
     k_core_active_mask,
 )
 from ..kernels.bitset import masks_from_bytes, masks_to_bytes
+from ..obs import TraceBuffer, get_tracer, install_tracer
 from .incumbent import SharedIncumbent
 from .tasks import suffix_masks
 
@@ -57,21 +58,23 @@ __all__ = [
 ]
 
 #: :meth:`WorkerContext.pack` wire format — two mask byte blobs, the
-#: vertex count, tau, the processing order, and the three flags.
+#: vertex count, tau, the processing order, and the four flags.
 PackedContext = tuple[
-    bytes, bytes, int, int, "list[int]", bool, bool, bool]
+    bytes, bytes, int, int, "list[int]", bool, bool, bool, bool]
 
-#: ``(witness, stats delta, examined, skipped)`` per MDC chunk; the
-#: witness is ``(anchor u, [(vertex, is_left), ...])`` or ``None``.
+#: ``(witness, stats delta, trace delta, examined, skipped)`` per MDC
+#: chunk; the witness is ``(anchor u, [(vertex, is_left), ...])`` or
+#: ``None``; the trace delta is the chunk tracer's
+#: :class:`~repro.obs.TraceBuffer` (``None`` unless requested).
 MdcChunkResult = tuple[
     "tuple[int, list[tuple[int, bool]]] | None",
-    "SearchStats | None", int, int]
+    "SearchStats | None", "TraceBuffer | None", int, int]
 
-#: ``(successes, stats delta, examined)`` per DCC chunk; each success
-#: is ``(u, bar_used, [(vertex, is_left), ...])``.
+#: ``(successes, stats delta, trace delta, examined)`` per DCC chunk;
+#: each success is ``(u, bar_used, [(vertex, is_left), ...])``.
 DccChunkResult = tuple[
     "list[tuple[int, int, list[tuple[int, bool]]]]",
-    "SearchStats | None", int]
+    "SearchStats | None", "TraceBuffer | None", int]
 
 #: The per-process context (set by fork inheritance or the spawn
 #: initializer).  One solve at a time per pool.
@@ -92,6 +95,7 @@ class WorkerContext:
         use_core: bool = True,
         use_coloring: bool = True,
         want_stats: bool = False,
+        want_trace: bool = False,
     ) -> None:
         self.pos_bits = pos_bits
         self.neg_bits = neg_bits
@@ -102,6 +106,7 @@ class WorkerContext:
         self.use_core = use_core
         self.use_coloring = use_coloring
         self.want_stats = want_stats
+        self.want_trace = want_trace
         self._allowed: dict[int, int] | None = None
 
     def allowed(self, u: int) -> int:
@@ -124,18 +129,19 @@ class WorkerContext:
             masks_to_bytes(self.neg_bits, self.n),
             self.n, self.tau, self.order,
             self.use_core, self.use_coloring, self.want_stats,
+            self.want_trace,
         )
 
     @classmethod
     def unpack(cls, packed: PackedContext,
                incumbent: SharedIncumbent) -> "WorkerContext":
         pos_blob, neg_blob, n, tau, order, use_core, use_coloring, \
-            want_stats = packed
+            want_stats, want_trace = packed
         return cls(
             masks_from_bytes(pos_blob, n), masks_from_bytes(neg_blob, n),
             n, tau, order, incumbent,
             use_core=use_core, use_coloring=use_coloring,
-            want_stats=want_stats)
+            want_stats=want_stats, want_trace=want_trace)
 
 
 def install_context(ctx: "WorkerContext | None") -> None:
@@ -153,12 +159,13 @@ def init_spawned_worker(packed: PackedContext, value: Any) -> None:
 def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
     """Solve the MDC instances of ``chunk`` against the live incumbent.
 
-    Returns ``(witness, stats, examined, skipped)`` where ``witness``
-    is ``(u, members)`` for the best clique found in this chunk
-    (``members`` are ``(vertex, is_left)`` pairs in reduced-graph ids,
-    excluding the anchor ``u``) or ``None``; ``stats`` is the chunk's
-    :class:`SearchStats` delta (``None`` unless requested); and
-    ``examined`` / ``skipped`` count processed tasks and pre-bound
+    Returns ``(witness, stats, buffer, examined, skipped)`` where
+    ``witness`` is ``(u, members)`` for the best clique found in this
+    chunk (``members`` are ``(vertex, is_left)`` pairs in reduced-graph
+    ids, excluding the anchor ``u``) or ``None``; ``stats`` is the
+    chunk's :class:`SearchStats` delta and ``buffer`` its
+    :class:`~repro.obs.TraceBuffer` (each ``None`` unless requested);
+    and ``examined`` / ``skipped`` count processed tasks and pre-bound
     skips for the dispatch report.
     """
     ctx = _CTX
@@ -166,63 +173,82 @@ def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
     pos_bits, neg_bits, tau = ctx.pos_bits, ctx.neg_bits, ctx.tau
     incumbent = ctx.incumbent
     stats = SearchStats() if ctx.want_stats else None
+    tracer = get_tracer(ctx.want_trace)
+    # Ambient for the chunk's duration, so kernel-layer spans (mask
+    # builds inside the network constructors) land in the buffer too.
+    previous = install_tracer(tracer) if ctx.want_trace else None
     best_witness = None
     best_size = 0
     skipped = 0
 
-    for u in chunk:
-        # The bar, refreshed once per task from the shared register: a
-        # stale read only loosens the bound, never breaks correctness.
-        required = max(incumbent.get() + 1, 2 * tau)
-        allowed = ctx.allowed(u)
-        pos_count = (pos_bits[u] & allowed).bit_count()
-        neg_count = (neg_bits[u] & allowed).bit_count()
-        if (pos_count + neg_count + 1 < required
-                or pos_count < tau - 1 or neg_count < tau):
-            skipped += 1
-            continue
-        network = dichromatic_network_from_masks(
-            pos_bits, neg_bits, u, allowed)
-        if network.num_vertices + 1 < required:
-            continue
-        adj_bits = network.adjacency_bits()
-        active_mask = network.all_bits()
-        if ctx.use_core:
-            active_mask = k_core_active_mask(
-                adj_bits, required - 2, active_mask)
-        if active_mask.bit_count() + 1 < required:
-            continue
-        if ctx.use_coloring:
-            bound = coloring_upper_bound_active_mask(
-                adj_bits, active_mask)
-            if bound < required - 1:
-                continue
-        if stats is not None:
-            stats.instances += 1
-            ego_edges = ego_edge_count_from_masks(
-                pos_bits, neg_bits, u, allowed)
-            reduced_edges = active_edge_count_mask(
-                adj_bits, active_mask)
-            stats.record_reduction(
-                ego_edges, network.num_edges, reduced_edges)
-        found = solve_mdc(
-            network, tau - 1, tau,
-            must_exceed=required - 2,
-            stats=stats,
-            engine="bitset",
-            use_coloring=ctx.use_coloring,
-            use_core=ctx.use_core,
-            active_mask=active_mask)
-        if found is None:
-            continue
-        size = len(found) + 1
-        incumbent.improve(size)
-        if size > best_size:
-            best_size = size
-            best_witness = (u, [
-                (network.origin[v], network.is_left[v]) for v in found])
+    with tracer.span("chunk", size=len(chunk)):
+        for u in chunk:
+            with tracer.span("ego", v=u) as ego:
+                # The bar, refreshed once per task from the shared
+                # register: a stale read only loosens the bound, never
+                # breaks correctness.
+                required = max(incumbent.get() + 1, 2 * tau)
+                allowed = ctx.allowed(u)
+                pos_count = (pos_bits[u] & allowed).bit_count()
+                neg_count = (neg_bits[u] & allowed).bit_count()
+                if (pos_count + neg_count + 1 < required
+                        or pos_count < tau - 1 or neg_count < tau):
+                    skipped += 1
+                    ego.set(pruned="bound")
+                    continue
+                network = dichromatic_network_from_masks(
+                    pos_bits, neg_bits, u, allowed)
+                if network.num_vertices + 1 < required:
+                    ego.set(pruned="size")
+                    continue
+                adj_bits = network.adjacency_bits()
+                active_mask = network.all_bits()
+                if ctx.use_core:
+                    active_mask = k_core_active_mask(
+                        adj_bits, required - 2, active_mask)
+                if active_mask.bit_count() + 1 < required:
+                    ego.set(pruned="core")
+                    continue
+                if ctx.use_coloring:
+                    bound = coloring_upper_bound_active_mask(
+                        adj_bits, active_mask)
+                    if bound < required - 1:
+                        ego.set(pruned="color")
+                        continue
+                ego.set(n=network.num_vertices,
+                        reduced=active_mask.bit_count())
+                if stats is not None:
+                    stats.instances += 1
+                    ego_edges = ego_edge_count_from_masks(
+                        pos_bits, neg_bits, u, allowed)
+                    reduced_edges = active_edge_count_mask(
+                        adj_bits, active_mask)
+                    stats.record_reduction(
+                        ego_edges, network.num_edges, reduced_edges)
+                found = solve_mdc(
+                    network, tau - 1, tau,
+                    must_exceed=required - 2,
+                    stats=stats,
+                    engine="bitset",
+                    use_coloring=ctx.use_coloring,
+                    use_core=ctx.use_core,
+                    active_mask=active_mask,
+                    trace=tracer)
+                ego.set(found=found is not None)
+                if found is None:
+                    continue
+                size = len(found) + 1
+                incumbent.improve(size)
+                if size > best_size:
+                    best_size = size
+                    best_witness = (u, [
+                        (network.origin[v], network.is_left[v])
+                        for v in found])
 
-    return best_witness, stats, len(chunk), skipped
+    if ctx.want_trace:
+        install_tracer(previous)
+    buffer = tracer.export_buffer() if ctx.want_trace else None
+    return best_witness, stats, buffer, len(chunk), skipped
 
 
 def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:
@@ -232,8 +258,9 @@ def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:
     ids to check.  Each check runs at ``max(bar, incumbent)`` so that
     successes elsewhere in the round tighten later questions; a success
     at bar ``b`` proves a clique with polarization ``b + 1`` and is
-    published as such.  Returns ``(successes, stats, examined)`` with
-    ``successes`` a list of ``(u, bar_used, members)``.
+    published as such.  Returns ``(successes, stats, buffer,
+    examined)`` with ``successes`` a list of ``(u, bar_used,
+    members)``.
     """
     ctx = _CTX
     assert ctx is not None, "worker context not installed"
@@ -241,41 +268,57 @@ def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:
     pos_bits, neg_bits = ctx.pos_bits, ctx.neg_bits
     incumbent = ctx.incumbent
     stats = SearchStats() if ctx.want_stats else None
+    tracer = get_tracer(ctx.want_trace)
+    previous = install_tracer(tracer) if ctx.want_trace else None
     successes = []
 
-    for u in chunk:
-        bar_used = max(bar, incumbent.get())
-        allowed = ctx.allowed(u)
-        # Cheap candidate bound first: the witness needs bar_used
-        # positive and bar_used + 1 negative candidates besides u.
-        if ((pos_bits[u] & allowed).bit_count() < bar_used
-                or (neg_bits[u] & allowed).bit_count() < bar_used + 1):
-            continue
-        network = dichromatic_network_from_masks(
-            pos_bits, neg_bits, u, allowed)
-        adj_bits = network.adjacency_bits()
-        left_bits = network.left_bits()
-        active_mask = bicore_active_mask(
-            adj_bits, left_bits, bar_used, bar_used + 1,
-            network.all_bits())
-        left_count = (active_mask & left_bits).bit_count()
-        right_count = active_mask.bit_count() - left_count
-        if left_count < bar_used or right_count < bar_used + 1:
-            continue
-        if stats is not None:
-            stats.instances += 1
-            ego_edges = ego_edge_count_from_masks(
-                pos_bits, neg_bits, u, allowed)
-            reduced = active_edge_count_mask(adj_bits, active_mask)
-            stats.record_reduction(
-                ego_edges, network.num_edges, reduced)
-        found = dichromatic_clique_witness(
-            network, bar_used, bar_used + 1, stats=stats,
-            engine="bitset", active_mask=active_mask)
-        if found is None:
-            continue
-        incumbent.improve(bar_used + 1)
-        successes.append((u, bar_used, [
-            (network.origin[v], network.is_left[v]) for v in found]))
+    with tracer.span("chunk", size=len(chunk), bar=bar):
+        for u in chunk:
+            with tracer.span("ego", v=u) as ego:
+                bar_used = max(bar, incumbent.get())
+                allowed = ctx.allowed(u)
+                # Cheap candidate bound first: the witness needs
+                # bar_used positive and bar_used + 1 negative
+                # candidates besides u.
+                if ((pos_bits[u] & allowed).bit_count() < bar_used
+                        or (neg_bits[u] & allowed).bit_count()
+                        < bar_used + 1):
+                    ego.set(pruned="bound")
+                    continue
+                network = dichromatic_network_from_masks(
+                    pos_bits, neg_bits, u, allowed)
+                adj_bits = network.adjacency_bits()
+                left_bits = network.left_bits()
+                active_mask = bicore_active_mask(
+                    adj_bits, left_bits, bar_used, bar_used + 1,
+                    network.all_bits())
+                left_count = (active_mask & left_bits).bit_count()
+                right_count = active_mask.bit_count() - left_count
+                if left_count < bar_used or right_count < bar_used + 1:
+                    ego.set(pruned="core")
+                    continue
+                ego.set(n=network.num_vertices)
+                if stats is not None:
+                    stats.instances += 1
+                    ego_edges = ego_edge_count_from_masks(
+                        pos_bits, neg_bits, u, allowed)
+                    reduced = active_edge_count_mask(
+                        adj_bits, active_mask)
+                    stats.record_reduction(
+                        ego_edges, network.num_edges, reduced)
+                found = dichromatic_clique_witness(
+                    network, bar_used, bar_used + 1, stats=stats,
+                    engine="bitset", active_mask=active_mask,
+                    trace=tracer)
+                ego.set(found=found is not None)
+                if found is None:
+                    continue
+                incumbent.improve(bar_used + 1)
+                successes.append((u, bar_used, [
+                    (network.origin[v], network.is_left[v])
+                    for v in found]))
 
-    return successes, stats, len(chunk)
+    if ctx.want_trace:
+        install_tracer(previous)
+    buffer = tracer.export_buffer() if ctx.want_trace else None
+    return successes, stats, buffer, len(chunk)

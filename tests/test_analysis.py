@@ -156,9 +156,9 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_seven_rules_with_unique_ids(self):
+    def test_eight_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 7
+        assert len(ids) == len(set(ids)) == 8
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):
@@ -389,6 +389,38 @@ class Thing:
 '''
 
 
+R008_BAD = '''\
+"""Fixture."""
+import time
+
+__all__ = ["solve"]
+
+
+def solve(n: int) -> float:
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i
+    return time.perf_counter() - start
+'''
+
+R008_CLEAN = '''\
+"""Fixture."""
+from ..obs import current_tracer
+
+__all__ = ["solve"]
+
+
+def solve(n: int) -> int:
+    total = 0
+    with current_tracer().span("solve", n=n) as span:
+        for i in range(n):
+            span.count("nodes")
+            total += i
+    return total
+'''
+
+
 def _with_pragma(source: str, line_fragment: str, rule_id: str) -> str:
     """Append a noqa pragma to the first line containing the fragment."""
     lines = source.splitlines()
@@ -415,6 +447,8 @@ RULE_FIXTURES = [
      "from ..core.gmbc import gmbc_star", R006_GUARDED),
     ("R007", "repro.metrics.fixture", R007_BAD, "def f(x, y: int):",
      R007_CLEAN),
+    ("R008", "repro.core.fixture", R008_BAD,
+     "start = time.perf_counter()", R008_CLEAN),
 ]
 
 
@@ -496,6 +530,43 @@ class TestRuleScoping:
         source = ('__all__ = ["g"]\n'
                   "from ..signed.graph import SignedGraph as g\n")
         assert rule_hits(source, "repro.analysis.fixture", "R006")
+
+    def test_r008_composition_root_may_read_clocks(self):
+        # repro.cli reports wall time to humans; R008 scopes to the
+        # solver packages only.
+        assert rule_hits(R008_BAD, "repro.cli", "R008") == []
+
+    def test_r008_obs_implements_the_clocks(self):
+        assert rule_hits(R008_BAD, "repro.obs.tracer", "R008") == []
+
+    def test_r008_clock_alias_import_fires(self):
+        source = ('__all__ = ["f"]\n'
+                  "from time import perf_counter as clock\n"
+                  "def f() -> float:\n"
+                  "    return clock()\n")
+        hits = rule_hits(source, "repro.dichromatic.fixture", "R008")
+        assert len(hits) == 2  # the import and the call
+
+    def test_r008_non_clock_time_import_is_legal(self):
+        source = ('__all__ = ["f"]\n'
+                  "from time import sleep\n"
+                  "def f() -> None:\n"
+                  "    sleep(0.0)\n")
+        assert rule_hits(source, "repro.core.fixture", "R008") == []
+
+    def test_r008_direct_tracer_construction_fires(self):
+        source = ('__all__ = ["f"]\n'
+                  "from ..obs import Tracer\n"
+                  "def f() -> Tracer:\n"
+                  "    return Tracer()\n")
+        assert rule_hits(source, "repro.parallel.fixture", "R008")
+
+    def test_r008_factory_construction_is_legal(self):
+        source = ('__all__ = ["f"]\n'
+                  "from ..obs import Tracer, get_tracer\n"
+                  "def f() -> Tracer:\n"
+                  "    return get_tracer(True)\n")
+        assert rule_hits(source, "repro.parallel.fixture", "R008") == []
 
     def test_non_repro_files_are_skipped(self):
         # No module name -> no rules apply (e.g. tests, scripts).
