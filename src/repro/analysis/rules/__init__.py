@@ -15,6 +15,7 @@ from .r005_public_api import PublicApiRule
 from .r006_layering import ImportLayeringRule
 from .r007_annotations import AnnotationCompletenessRule
 from .r008_tracer_discipline import TracerDisciplineRule
+from .r009_pool_discipline import PoolDisciplineRule
 
 __all__ = [
     "ALL_RULES",
@@ -27,6 +28,7 @@ __all__ = [
     "ImportLayeringRule",
     "AnnotationCompletenessRule",
     "TracerDisciplineRule",
+    "PoolDisciplineRule",
 ]
 
 ALL_RULES = (
@@ -38,6 +40,7 @@ ALL_RULES = (
     ImportLayeringRule(),
     AnnotationCompletenessRule(),
     TracerDisciplineRule(),
+    PoolDisciplineRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

@@ -45,27 +45,31 @@ __all__ = ["ImportLayeringRule", "ALLOWED_PACKAGE_IMPORTS",
            "ALLOWED_MODULE_IMPORTS"]
 
 #: package -> packages it may import from at runtime.
+#: ``repro.resilience`` sits at the bottom like ``repro.obs``: every
+#: solver package may thread its Budget/fault primitives through, and
+#: it imports nothing back.
 ALLOWED_PACKAGE_IMPORTS: dict[str, frozenset[str]] = {
     "repro.obs": frozenset(),
+    "repro.resilience": frozenset(),
     "repro.kernels": frozenset({"repro.obs"}),
     "repro.signed": frozenset({"repro.kernels", "repro.obs"}),
     "repro.unsigned": frozenset({"repro.kernels", "repro.obs"}),
     "repro.dichromatic": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
-         "repro.obs"}),
+         "repro.obs", "repro.resilience"}),
     "repro.metrics": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
          "repro.obs"}),
     "repro.parallel": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
-         "repro.dichromatic", "repro.obs"}),
+         "repro.dichromatic", "repro.obs", "repro.resilience"}),
     "repro.core": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
          "repro.dichromatic", "repro.metrics", "repro.parallel",
-         "repro.obs"}),
+         "repro.obs", "repro.resilience"}),
     "repro.baselines": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
-         "repro.metrics", "repro.obs"}),
+         "repro.metrics", "repro.obs", "repro.resilience"}),
     "repro.datasets": frozenset(
         {"repro.kernels", "repro.signed", "repro.obs"}),
     "repro.analysis": frozenset(),

@@ -1,0 +1,99 @@
+"""R009 — pool discipline: dispatch through the resilient layer.
+
+``multiprocessing.Pool`` has two well-known sharp edges the solver
+stack must never re-expose (see ``docs/ROBUSTNESS.md``):
+
+* a worker killed mid-task does **not** make ``imap_unordered`` raise
+  — the pool silently repopulates and the result never arrives,
+  hanging the solve forever;
+* a raising worker poisons the whole ``imap`` stream, discarding the
+  other chunks' finished work.
+
+:class:`repro.parallel.dispatch.ResilientDispatcher` wraps both away
+(heartbeat liveness checks, per-chunk re-dispatch, bounded joins,
+budget enforcement), so the rest of the stack must route every pool
+interaction through it.  Flagged in the solver-stack packages:
+
+1. **Raw dispatch-method calls** — ``something.imap_unordered(...)``,
+   ``.apply_async(...)`` and friends: the exact calls whose failure
+   modes the dispatcher exists to contain.
+2. **Direct pool construction** — ``Pool(...)`` /
+   ``mp_ctx.Pool(...)``: a hand-built pool has no pid snapshot, no
+   bounded join, and no failure budget.
+
+Scope: the solver-stack packages of R006.  ``repro.parallel.dispatch``
+is exempt — it *implements* the discipline, and keeping the raw calls
+in exactly one module is the point of the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+
+__all__ = ["PoolDisciplineRule", "POOL_DISPATCH_METHODS",
+           "POOL_PACKAGES", "POOL_EXEMPT_MODULES"]
+
+#: ``multiprocessing.pool.Pool`` methods that dispatch work — the
+#: calls whose silent-death / stream-poisoning failure modes the
+#: resilient dispatcher contains.  Plain ``map`` is deliberately
+#: absent: it is too common a method name on unrelated objects for an
+#: AST-level check to flag without drowning in false positives.
+POOL_DISPATCH_METHODS = frozenset({
+    "imap", "imap_unordered",
+    "apply_async", "map_async",
+    "starmap", "starmap_async",
+})
+
+#: Packages the discipline applies to — the solver stack of R006.
+POOL_PACKAGES = frozenset({
+    "repro.kernels", "repro.signed", "repro.unsigned",
+    "repro.dichromatic", "repro.metrics", "repro.parallel",
+    "repro.core", "repro.baselines", "repro.datasets",
+})
+
+#: The one module allowed to touch pools directly.
+POOL_EXEMPT_MODULES = frozenset({"repro.parallel.dispatch"})
+
+
+class PoolDisciplineRule(Rule):
+    rule_id = "R009"
+    title = "pool interactions go through the resilient dispatcher"
+    rationale = (
+        "a raw imap_unordered hangs forever when a worker dies and "
+        "loses every sibling chunk when one raises; the dispatcher's "
+        "heartbeat, re-dispatch and bounded joins exist so those "
+        "failure modes live in exactly one audited module")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return (module.package in POOL_PACKAGES
+                and module.module not in POOL_EXEMPT_MODULES)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in POOL_DISPATCH_METHODS:
+                yield self.finding(
+                    module, node,
+                    f".{func.attr}(...) — pool dispatch goes through "
+                    f"repro.parallel.dispatch.ResilientDispatcher.run, "
+                    f"which survives worker death and re-dispatches "
+                    f"lost chunks")
+            elif isinstance(func, ast.Attribute) and \
+                    func.attr == "Pool":
+                yield self.finding(
+                    module, node,
+                    "direct .Pool(...) construction — pools are built "
+                    "and torn down by repro.parallel.dispatch (pid "
+                    "snapshot, bounded join, failure budget)")
+            elif isinstance(func, ast.Name) and func.id == "Pool":
+                yield self.finding(
+                    module, node,
+                    "direct Pool(...) construction — pools are built "
+                    "and torn down by repro.parallel.dispatch")

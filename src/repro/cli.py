@@ -18,6 +18,13 @@ Installed as ``repro`` (also ``python -m repro``).  Subcommands:
 The solver commands accept ``--trace PATH`` (write the solve's
 :mod:`repro.obs` span tree as schema-versioned JSONL) and ``--profile``
 (print the human-readable span tree) — see ``docs/OBSERVABILITY.md``.
+
+They also accept ``--timeout SECONDS`` and ``--max-nodes N`` solve
+budgets (see ``docs/ROBUSTNESS.md``): on exhaustion the best result
+found so far is printed with its certified lower bound and the process
+exits with :data:`EXIT_BUDGET_EXHAUSTED` (3) — distinct from both
+success (0) and errors (1) so scripts can tell a truncated answer from
+a wrong invocation.
 """
 
 from __future__ import annotations
@@ -31,15 +38,22 @@ from .core.gmbc import distinct_cliques_profile, gmbc_naive, gmbc_star
 from .core.mbc_baseline import mbc_baseline
 from .core.mbc_star import mbc_star
 from .core.pf import pf_binary_search, pf_enumeration, pf_star
+from .core.result import SolveResult
 from .core.stats import SearchStats
 from .datasets.registry import dataset_names, load
 from .kernels import DEFAULT_ENGINE, ENGINES
 from .obs import Tracer, get_tracer, install_tracer, render_tree, \
     write_jsonl
+from .resilience import Budget
 from .signed.graph import SignedGraph
 from .signed.io import load_signed_graph, save_signed_graph
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_BUDGET_EXHAUSTED"]
+
+#: Exit status when a solve hit its ``--timeout``/``--max-nodes``
+#: budget: the printed answer is a valid clique / certified lower
+#: bound, but optimality was not proven.
+EXIT_BUDGET_EXHAUSTED = 3
 
 
 def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
@@ -57,6 +71,15 @@ def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--profile", action="store_true",
         help="print the span-tree profile after the solve")
+    subparser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock solve budget; on expiry print the best "
+             "result so far and exit 3")
+    subparser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        dest="max_nodes",
+        help="branch-and-bound node budget; same anytime contract "
+             "as --timeout")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_budget(args: argparse.Namespace) -> Budget | None:
+    """A :class:`~repro.resilience.Budget` when either budget flag was
+    given (``Budget`` validates the values), else ``None`` so the
+    solvers keep their zero-overhead hot path."""
+    if args.timeout is None and args.max_nodes is None:
+        return None
+    return Budget(deadline=args.timeout, max_nodes=args.max_nodes)
+
+
+def _budget_epilogue(budget: Budget | None) -> int:
+    """Print the truncation notice and pick the exit status."""
+    if budget is None or not budget.exhausted:
+        return 0
+    print(f"status: budget exhausted ({budget.reason}) — result is "
+          f"the best found, optimality not proven")
+    return EXIT_BUDGET_EXHAUSTED
+
+
 def _load_graph(token: str) -> SignedGraph:
     if token.startswith("dataset:"):
         return load(token.split(":", 1)[1])
@@ -165,6 +206,11 @@ def _report_trace(args: argparse.Namespace,
 
 
 def _cmd_mbc(args: argparse.Namespace) -> int:
+    budget = _build_budget(args)
+    if budget is not None and args.algorithm != "star":
+        raise ValueError(
+            "--timeout/--max-nodes require --algorithm star (the "
+            "baseline enumerator has no anytime contract)")
     graph = _load_graph(args.graph)
     stats = SearchStats()
     tracer = _install_cli_tracer(args)
@@ -172,7 +218,8 @@ def _cmd_mbc(args: argparse.Namespace) -> int:
     try:
         if args.algorithm == "star":
             clique = mbc_star(graph, args.tau, stats=stats,
-                              engine=args.engine, parallel=args.workers)
+                              engine=args.engine, parallel=args.workers,
+                              budget=budget)
             engine = args.engine
         else:
             clique = mbc_baseline(graph, args.tau, stats=stats)
@@ -180,50 +227,59 @@ def _cmd_mbc(args: argparse.Namespace) -> int:
     finally:
         elapsed = time.perf_counter() - started
         _report_trace(args, tracer)
+    result = SolveResult.capture(clique, budget)
     if clique.is_empty:
         print(f"no balanced clique satisfies tau={args.tau}")
     else:
         print(clique.describe(graph))
+        if not result.optimal:
+            print(f"certified lower bound: {result.lower_bound}")
     print(f"time: {elapsed:.3f}s  nodes: {stats.nodes}  "
           f"instances: {stats.instances}  engine: {engine}")
-    return 0
+    return _budget_epilogue(budget)
 
 
 def _cmd_pf(args: argparse.Namespace) -> int:
+    budget = _build_budget(args)
     graph = _load_graph(args.graph)
     tracer = _install_cli_tracer(args)
     started = time.perf_counter()
     try:
         if args.algorithm == "star":
             beta = pf_star(graph, engine=args.engine,
-                           parallel=args.workers)
+                           parallel=args.workers, budget=budget)
             engine = args.engine
         elif args.algorithm == "binary-search":
             beta = pf_binary_search(graph, engine=args.engine,
-                                    parallel=args.workers)
+                                    parallel=args.workers,
+                                    budget=budget)
             engine = args.engine
         else:
-            beta = pf_enumeration(graph)
+            beta = pf_enumeration(graph, budget=budget)
             engine = "set"  # enumeration has no bitset path
     finally:
         elapsed = time.perf_counter() - started
         _report_trace(args, tracer)
-    print(f"polarization factor beta(G) = {beta}")
+    # A truncated PF solve certifies beta as a *lower* bound (the last
+    # proven tau*), so print the inequality rather than a wrong "=".
+    relation = ">=" if budget is not None and budget.exhausted else "="
+    print(f"polarization factor beta(G) {relation} {beta}")
     print(f"time: {elapsed:.3f}s  engine: {engine}")
-    return 0
+    return _budget_epilogue(budget)
 
 
 def _cmd_gmbc(args: argparse.Namespace) -> int:
+    budget = _build_budget(args)
     graph = _load_graph(args.graph)
     tracer = _install_cli_tracer(args)
     started = time.perf_counter()
     try:
         if args.algorithm == "star":
             results = gmbc_star(graph, engine=args.engine,
-                                parallel=args.workers)
+                                parallel=args.workers, budget=budget)
         else:
             results = gmbc_naive(graph, engine=args.engine,
-                                 parallel=args.workers)
+                                 parallel=args.workers, budget=budget)
     finally:
         elapsed = time.perf_counter() - started
         _report_trace(args, tracer)
@@ -233,7 +289,7 @@ def _cmd_gmbc(args: argparse.Namespace) -> int:
     print(f"distinct cliques: {profile['distinct']}  "
           f"beta: {profile['beta']}  time: {elapsed:.3f}s  "
           f"engine: {args.engine}")
-    return 0
+    return _budget_epilogue(budget)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

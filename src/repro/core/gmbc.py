@@ -18,6 +18,7 @@ removing the need for users to pick a threshold.
 from __future__ import annotations
 
 from ..obs import Tracer, current_tracer
+from ..resilience.budget import Budget
 from ..signed.graph import SignedGraph
 from .mbc_star import mbc_star
 from .pf import pf_star
@@ -33,12 +34,17 @@ def gmbc_naive(
     engine: str = "bitset",
     parallel: int = 0,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> list[BalancedClique]:
     """gMBC: maxima for all ``tau``, each computed from scratch.
 
     Returns ``results`` with ``results[tau]`` the maximum balanced
     clique for threshold ``tau``; ``len(results) == beta(G) + 1``.
-    ``parallel`` forwards to every MBC* invocation.
+    ``parallel`` forwards to every MBC* invocation.  A shared
+    ``budget`` truncates the upward sweep: the returned prefix covers
+    ``tau = 0 .. k`` for some ``k <= beta(G)``, each entry still a
+    real balanced clique for its tau (though possibly sub-maximum for
+    the last one) — check ``budget.status`` for which case applies.
     """
     tracer = trace if trace is not None else current_tracer()
     results: list[BalancedClique] = []
@@ -46,15 +52,19 @@ def gmbc_naive(
                      engine=engine) as root:
         tau = 0
         while True:
+            if budget is not None and budget.exhausted:
+                break
             with tracer.span("tau", tau=tau):
                 clique = mbc_star(
                     graph, tau, stats=stats, engine=engine,
-                    parallel=parallel, trace=tracer)
+                    parallel=parallel, trace=tracer, budget=budget)
             if clique.is_empty or not clique.satisfies(tau):
                 break
             results.append(clique)
             tau += 1
         root.set(beta=len(results) - 1)
+        if tracer.enabled and budget is not None:
+            root.set(status=budget.status.value)
     return results
 
 
@@ -64,11 +74,19 @@ def gmbc_star(
     engine: str = "bitset",
     parallel: int = 0,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> list[BalancedClique]:
     """gMBC* (Algorithm 6): shared-computation downward sweep.
 
     Same contract as :func:`gmbc_naive`; ``parallel`` forwards to the
     PF* bootstrap and to every per-``tau`` MBC* invocation.
+
+    A shared ``budget`` keeps the anytime shape of the answer: the PF*
+    bootstrap's ``beta`` becomes a certified lower bound, and once the
+    budget runs out mid-sweep the remaining (smaller) taus are filled
+    with the best clique already in hand — valid for them by Lemma 6
+    monotonicity, though possibly sub-maximum.  ``results[tau]`` stays
+    a real balanced clique satisfying ``tau`` in every case.
     """
     if graph.num_vertices == 0:
         return []
@@ -76,18 +94,31 @@ def gmbc_star(
     results: list[BalancedClique] = []
     with tracer.span("gmbc_star", n=graph.num_vertices,
                      engine=engine) as root:
-        beta = pf_star(
+        outcome = pf_star(
             graph, stats=stats, engine=engine, parallel=parallel,
-            trace=tracer)
-        assert isinstance(beta, int)
+            trace=tracer, return_witness=True, budget=budget)
+        assert isinstance(outcome, tuple)
+        beta, pf_witness = outcome
         root.set(beta=beta)
         previous: BalancedClique | None = None
         for tau in range(beta, -1, -1):
+            if budget is not None and budget.exhausted:
+                # Anytime fill-down: the clique proven for some larger
+                # tau also satisfies this one (Lemma 6); the PF*
+                # witness covers the case where no MBC* call finished.
+                filler = previous if previous is not None else pf_witness
+                results.append(filler)
+                continue
             with tracer.span("tau", tau=tau):
                 clique = mbc_star(
                     graph, tau, initial=previous, stats=stats,
-                    engine=engine, parallel=parallel, trace=tracer)
+                    engine=engine, parallel=parallel, trace=tracer,
+                    budget=budget)
             if clique.is_empty:
+                if budget is not None and budget.exhausted:
+                    results.append(
+                        previous if previous is not None else pf_witness)
+                    continue
                 # Cannot happen for tau <= beta(G) by definition; guard
                 # for robustness against a caller-mangled graph.
                 raise RuntimeError(
@@ -95,6 +126,8 @@ def gmbc_star(
                     f"<= beta={beta}")
             results.append(clique)
             previous = clique
+        if tracer.enabled and budget is not None:
+            root.set(status=budget.status.value)
     results.reverse()
     return results
 

@@ -35,6 +35,7 @@ from ..kernels.active import (
 from ..kernels.bitset import iter_bits
 from ..obs import Tracer, current_tracer
 from ..parallel.engine import mbc_ego_fanout, resolve_workers
+from ..resilience.budget import Budget, BudgetExceeded
 from ..signed.graph import SignedGraph
 from ..unsigned.coloring import coloring_upper_bound
 from ..unsigned.cores import k_core_subset
@@ -62,6 +63,7 @@ def mbc_star(
     engine: str = "bitset",
     parallel: int = 0,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> BalancedClique:
     """Maximum balanced clique satisfying the polarization constraint.
 
@@ -110,12 +112,21 @@ def mbc_star(
         per-phase children (``vertex_reduction``, ``heuristic``,
         ``core_reduction``, ``ordering``, ``sweep``) and one ``ego``
         span per examined vertex — see ``docs/OBSERVABILITY.md``.
+    budget:
+        Optional :class:`repro.resilience.Budget` making this an
+        *anytime* solve: reduction and heuristic always run, then the
+        budget is checked per ego network and charged per
+        branch-and-bound node; on exhaustion the current incumbent is
+        returned and ``budget.status`` reads ``BUDGET_EXHAUSTED``
+        (``check_only`` truncation returns the empty result — "not
+        proven").  See ``docs/ROBUSTNESS.md``.
 
     Returns
     -------
     BalancedClique
         The maximum balanced clique (or the feasibility witness in
         ``check_only`` mode); empty when no clique satisfies ``tau``.
+        Under an exhausted budget: the best incumbent proven so far.
     """
     if tau < 0:
         raise ValueError(f"tau must be non-negative, got {tau}")
@@ -136,9 +147,13 @@ def mbc_star(
     with root:
         result = _pipeline(
             graph, tau, use_edge_reduction, stats, check_only, ordering,
-            use_coloring, use_core, engine, workers, best, tracer)
+            use_coloring, use_core, engine, workers, best, tracer,
+            budget)
         if tracer.enabled:
             root.set(size=result.size)
+            if budget is not None:
+                root.set(status=budget.status.value,
+                         budget_nodes=budget.nodes)
     return result
 
 
@@ -155,6 +170,7 @@ def _pipeline(
     workers: int,
     best: BalancedClique,
     tracer: Tracer,
+    budget: "Budget | None",
 ) -> BalancedClique:
     """The MBC* pipeline behind :func:`mbc_star` (root span open)."""
     # Line 1: VertexReduction (plus EdgeReduction for the variant).
@@ -187,6 +203,15 @@ def _pipeline(
             {mapping[v] for v in heuristic.right})
     if check_only and best.satisfies(tau) and not best.is_empty:
         return best
+
+    # First budget checkpoint: the polynomial preprocessing above
+    # always runs (so a truncated answer is at least the heuristic);
+    # everything exponential from here on is interruptible.
+    if budget is not None:
+        try:
+            budget.check()
+        except BudgetExceeded:
+            return EMPTY_RESULT if check_only else best
 
     # Line 3: reduce to the |C*|-core, signs ignored.  ``required`` is
     # the minimum acceptable clique size: beat the incumbent and leave
@@ -243,7 +268,7 @@ def _pipeline(
         return mbc_ego_fanout(
             working, mapping, tau, best, order, workers,
             use_core=use_core, use_coloring=use_coloring, stats=stats,
-            trace=tracer)
+            trace=tracer, budget=budget)
 
     # Line 5: process vertices in reverse degeneracy order.  The bitset
     # engine carries the "higher-ranked" filter as a mask accumulated
@@ -252,6 +277,14 @@ def _pipeline(
     with tracer.span("sweep", n=len(order)):
         allowed_mask = 0
         for u in reversed(order):
+            # Anytime contract: a budgeted sweep stops between (or,
+            # via the per-node spend inside solve_mdc, within) ego
+            # networks and falls through to return the incumbent.
+            if budget is not None:
+                try:
+                    budget.check()
+                except BudgetExceeded:
+                    break
             with tracer.span("ego", v=mapping[u]) as ego:
                 required = max(best.size + 1, 2 * tau)
                 this_allowed_mask = allowed_mask
@@ -294,16 +327,20 @@ def _pipeline(
                             adj_bits, active_mask)
                         stats.record_reduction(
                             ego_edges, network.num_edges, reduced_edges)
-                    found = solve_mdc(
-                        network, tau - 1, tau,
-                        must_exceed=required - 2,
-                        stats=stats,
-                        check_only=check_only,
-                        use_coloring=use_coloring,
-                        use_core=use_core,
-                        engine=engine,
-                        active_mask=active_mask,
-                        trace=tracer)
+                    try:
+                        found = solve_mdc(
+                            network, tau - 1, tau,
+                            must_exceed=required - 2,
+                            stats=stats,
+                            check_only=check_only,
+                            use_coloring=use_coloring,
+                            use_core=use_core,
+                            engine=engine,
+                            active_mask=active_mask,
+                            trace=tracer,
+                            budget=budget)
+                    except BudgetExceeded:
+                        break
                 else:
                     allowed = HigherRanked(rank, rank[u])
                     network = build_dichromatic_network(
@@ -332,16 +369,20 @@ def _pipeline(
                             network, active)
                         stats.record_reduction(
                             ego_edges, network.num_edges, reduced_edges)
-                    found = solve_mdc(
-                        network, tau - 1, tau,
-                        must_exceed=required - 2,
-                        stats=stats,
-                        check_only=check_only,
-                        active=active,
-                        use_coloring=use_coloring,
-                        use_core=use_core,
-                        engine=engine,
-                        trace=tracer)
+                    try:
+                        found = solve_mdc(
+                            network, tau - 1, tau,
+                            must_exceed=required - 2,
+                            stats=stats,
+                            check_only=check_only,
+                            active=active,
+                            use_coloring=use_coloring,
+                            use_core=use_core,
+                            engine=engine,
+                            trace=tracer,
+                            budget=budget)
+                    except BudgetExceeded:
+                        break
                 ego.set(found=found is not None)
                 if found is None:
                     continue

@@ -29,6 +29,7 @@ from ..kernels.active import active_edge_count_mask, bicore_active_mask, \
     degeneracy_ordering_mask
 from ..obs import Tracer, current_tracer
 from ..parallel.engine import pf_round_fanout, resolve_workers
+from ..resilience.budget import Budget, BudgetExceeded
 from ..signed.graph import SignedGraph
 from ..unsigned.graph import UnsignedGraph
 from ..unsigned.ordering import HigherRanked, degeneracy_ordering
@@ -47,12 +48,20 @@ def pf_enumeration(
     stats: SearchStats | None = None,
     node_limit: int | None = None,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> int:
-    """PF-E: polarization factor by exhaustive enumeration."""
+    """PF-E: polarization factor by exhaustive enumeration.
+
+    An exhausted ``budget`` (anytime contract) returns the best
+    polarization proven so far — unlike ``node_limit``, which is a
+    hard error used by tests to bound runaway enumerations.
+    """
     tracer = trace if trace is not None else current_tracer()
     with tracer.span("pf_enum", n=graph.num_vertices) as span:
-        best = _pf_enumeration(graph, stats, node_limit)
+        best = _pf_enumeration(graph, stats, node_limit, budget)
         span.set(beta=best)
+        if tracer.enabled and budget is not None:
+            span.set(status=budget.status.value)
     return best
 
 
@@ -60,6 +69,7 @@ def _pf_enumeration(
     graph: SignedGraph,
     stats: SearchStats | None,
     node_limit: int | None,
+    budget: "Budget | None" = None,
 ) -> int:
     """The PF-E recursion behind :func:`pf_enumeration`."""
     best = 0
@@ -75,6 +85,8 @@ def _pf_enumeration(
         nodes += 1
         if stats is not None:
             stats.nodes += 1
+        if budget is not None:
+            budget.spend()
         if node_limit is not None and nodes > node_limit:
             raise RuntimeError(
                 f"PF-E exceeded node limit {node_limit}")
@@ -109,7 +121,10 @@ def _pf_enumeration(
             p_right.discard(v)
 
     vertices = set(graph.vertices())
-    enum(set(), set(), set(vertices), set(vertices))
+    try:
+        enum(set(), set(), set(vertices), set(vertices))
+    except BudgetExceeded:
+        pass  # anytime: return the best polarization proven so far
     return best
 
 
@@ -119,6 +134,7 @@ def pf_binary_search(
     engine: str = "bitset",
     parallel: int = 0,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> int:
     """PF-BS: binary search on ``tau``, feasibility via MBC*.
 
@@ -126,6 +142,12 @@ def pf_binary_search(
     both residual thresholds hit zero — the Section IV-B optimization).
     ``parallel`` is accepted for interface parity but the probes stay
     serial: ``check_only`` searches stop at the first witness.
+
+    A ``budget`` is shared by all probes.  On exhaustion the returned
+    value is the last *certified* ``tau`` — a probe that produced a
+    real witness certifies its ``tau`` even when truncated afterwards,
+    but a truncated probe that found nothing is inconclusive and never
+    shrinks the search window.
     """
     tracer = trace if trace is not None else current_tracer()
     with tracer.span("pf_bs", n=graph.num_vertices,
@@ -133,19 +155,26 @@ def pf_binary_search(
         low = 0
         high = polarization_upper_bound(graph)
         while low < high:
+            if budget is not None and budget.exhausted:
+                break
             mid = (low + high + 1) // 2
             with tracer.span("probe", tau=mid) as probe:
                 witness = mbc_star(
                     graph, mid, check_only=True, stats=stats,
-                    engine=engine, parallel=parallel, trace=tracer)
+                    engine=engine, parallel=parallel, trace=tracer,
+                    budget=budget)
                 feasible = witness.satisfies(mid) \
                     and not witness.is_empty
                 probe.set(feasible=feasible)
             if feasible:
                 low = mid
+            elif budget is not None and budget.exhausted:
+                break  # "infeasible" was not proven, only truncated
             else:
                 high = mid - 1
         root.set(beta=low)
+        if tracer.enabled and budget is not None:
+            root.set(status=budget.status.value)
     return low
 
 
@@ -157,6 +186,7 @@ def pf_star(
     engine: str = "bitset",
     parallel: int = 0,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> "int | tuple[int, BalancedClique]":
     """PF* (Algorithm 4): the dichromatic-clique-checking algorithm.
 
@@ -180,12 +210,21 @@ def pf_star(
         +1 questions of all still-viable vertices concurrently and
         iterates until the bar stops rising — the fixpoint is exactly
         ``beta(G)``.  Requires the bitset engine.
+    budget:
+        Optional :class:`repro.resilience.Budget` (anytime contract):
+        the heuristic always runs, then the budget is checked per ego
+        network / round and charged per branch-and-bound node inside
+        the DCC probes.  On exhaustion the returned ``tau*`` is the
+        last *proven* bar — its witness clique certifies it — and
+        ``budget.status`` reads ``BUDGET_EXHAUSTED``.
 
     Returns
     -------
     int | tuple[int, BalancedClique]
         ``beta(G)``; with ``return_witness``, also a clique whose
-        smaller side has exactly ``beta(G)`` vertices.
+        smaller side has exactly ``beta(G)`` vertices.  Under an
+        exhausted budget these are a certified lower bound and its
+        witness.
     """
     if ordering not in ("polarization", "degeneracy"):
         raise ValueError(f"unknown ordering {ordering!r}")
@@ -200,9 +239,12 @@ def pf_star(
         workers=workers, ordering=ordering)
     with root:
         tau_star, witness = _pf_pipeline(
-            graph, stats, ordering, engine, workers, tracer)
+            graph, stats, ordering, engine, workers, tracer, budget)
         if tracer.enabled:
             root.set(beta=tau_star)
+            if budget is not None:
+                root.set(status=budget.status.value,
+                         budget_nodes=budget.nodes)
     if return_witness:
         return tau_star, witness
     return tau_star
@@ -215,6 +257,7 @@ def _pf_pipeline(
     engine: str,
     workers: int,
     tracer: Tracer,
+    budget: "Budget | None",
 ) -> "tuple[int, BalancedClique]":
     """The PF* pipeline behind :func:`pf_star` (root span open)."""
     # Line 1: heuristic lower bound.
@@ -225,6 +268,14 @@ def _pf_pipeline(
         phase.set(size=tau_star)
     if stats is not None:
         stats.heuristic_size = tau_star
+
+    # First budget checkpoint: the heuristic above always runs, so a
+    # truncated solve still returns a real witness for its bound.
+    if budget is not None:
+        try:
+            budget.check()
+        except BudgetExceeded:
+            return tau_star, witness
 
     # Line 2: VertexReduction for tau* + 1.
     with tracer.span("vertex_reduction", n=graph.num_vertices) as phase:
@@ -253,7 +304,7 @@ def _pf_pipeline(
     if workers > 1 and engine == "bitset":
         return pf_round_fanout(
             working, mapping, order, pn, tau_star, witness, workers,
-            stats=stats, trace=tracer)
+            stats=stats, trace=tracer, budget=budget)
 
     # Lines 4-8: reverse-order sweep with DCC checks.  As in MBC*, the
     # bitset engine accumulates the higher-ranked filter as a mask of
@@ -264,6 +315,13 @@ def _pf_pipeline(
             if pn is not None and pn[u] <= tau_star:
                 # Lemma 5: pn(u) >= gamma(g_u); nothing later helps.
                 break
+            # Anytime contract: tau_star below is always proven by
+            # ``witness``, so stopping here returns a certified bound.
+            if budget is not None:
+                try:
+                    budget.check()
+                except BudgetExceeded:
+                    break
             with tracer.span("ego", v=mapping[u], bar=tau_star) as ego:
                 this_allowed_mask = allowed_mask
                 allowed_mask |= 1 << u
@@ -316,15 +374,20 @@ def _pf_pipeline(
                         ego_edges, network.num_edges, reduced)
                 # Line 8: one +1 feasibility question per vertex
                 # (Lemma 4).
-                if engine == "bitset":
-                    found = dichromatic_clique_witness(
-                        network, tau_star, tau_star + 1, stats=stats,
-                        engine=engine, active_mask=active_mask,
-                        trace=tracer)
-                else:
-                    found = dichromatic_clique_witness(
-                        network, tau_star, tau_star + 1, stats=stats,
-                        active=active, engine=engine, trace=tracer)
+                try:
+                    if engine == "bitset":
+                        found = dichromatic_clique_witness(
+                            network, tau_star, tau_star + 1,
+                            stats=stats, engine=engine,
+                            active_mask=active_mask, trace=tracer,
+                            budget=budget)
+                    else:
+                        found = dichromatic_clique_witness(
+                            network, tau_star, tau_star + 1,
+                            stats=stats, active=active, engine=engine,
+                            trace=tracer, budget=budget)
+                except BudgetExceeded:
+                    break
                 ego.set(found=found is not None)
                 if found is not None:
                     tau_star += 1

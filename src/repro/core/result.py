@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..resilience.budget import Budget, Status
 from ..signed.graph import SignedGraph
 from .balance import split_sides
 
-__all__ = ["BalancedClique", "EMPTY_RESULT"]
+__all__ = ["BalancedClique", "EMPTY_RESULT", "SolveResult"]
 
 
 @dataclass(frozen=True)
@@ -88,3 +89,48 @@ class BalancedClique:
 
 #: Shared sentinel for "no qualifying clique".
 EMPTY_RESULT = BalancedClique()
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """An anytime solver outcome: incumbent + status + certified bound.
+
+    A budgeted solve (``--timeout`` / ``--max-nodes``) may stop before
+    proving optimality.  ``clique`` is then the best incumbent it
+    *did* prove (always a real balanced clique, possibly empty),
+    ``status`` says whether the answer is exact, and ``lower_bound``
+    is the quantity the incumbent certifies — ``clique.size`` for the
+    MBC problems, the last proven ``tau*`` for PF.  ``nodes`` is the
+    budget's branch-and-bound node count at capture time.
+    """
+
+    clique: BalancedClique
+    status: Status = Status.OPTIMAL
+    lower_bound: int = 0
+    nodes: int = 0
+
+    @property
+    def optimal(self) -> bool:
+        """Whether the solve ran to completion (answer is exact)."""
+        return self.status is Status.OPTIMAL
+
+    @classmethod
+    def capture(
+        cls,
+        clique: BalancedClique,
+        budget: "Budget | None",
+        lower_bound: "int | None" = None,
+    ) -> "SolveResult":
+        """Wrap a solver's return against the budget it ran under.
+
+        With no budget the solve was unbounded, hence optimal.
+        ``lower_bound`` defaults to ``clique.size`` (the MBC
+        certificate); PF callers pass their proven ``tau*``.
+        """
+        status = Status.OPTIMAL if budget is None else budget.status
+        return cls(
+            clique=clique,
+            status=status,
+            lower_bound=(clique.size if lower_bound is None
+                         else lower_bound),
+            nodes=0 if budget is None else budget.nodes)

@@ -22,6 +22,7 @@ from ..kernels import validate_engine
 from ..kernels.active import bicore_active_mask
 from ..kernels.bitset import mask_of
 from ..obs import Span, Tracer, current_tracer
+from ..resilience.budget import Budget
 from .cores import bicore_active
 from .graph import DichromaticGraph
 
@@ -40,17 +41,20 @@ def dichromatic_clique_check(
     engine: str = "bitset",
     active_mask: int | None = None,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> bool:
     """True iff ``graph`` has a dichromatic clique meeting the quotas.
 
     ``active`` optionally restricts the search to a vertex subset
     (callers pass an already-core-reduced set); the bitset engine also
     accepts it pre-packed as ``active_mask``.  ``trace`` defaults to
-    the ambient tracer; each check closes one ``dcc`` span.
+    the ambient tracer; each check closes one ``dcc`` span.  A
+    ``budget`` is charged one node per branch-and-bound node.
     """
     return dichromatic_clique_witness(
         graph, tau_l, tau_r, stats=stats, active=active,
-        engine=engine, active_mask=active_mask, trace=trace) is not None
+        engine=engine, active_mask=active_mask, trace=trace,
+        budget=budget) is not None
 
 
 def dichromatic_clique_witness(
@@ -62,6 +66,7 @@ def dichromatic_clique_witness(
     engine: str = "bitset",
     active_mask: int | None = None,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> set[int] | None:
     """Like :func:`dichromatic_clique_check` but returns the witness
     clique (local vertex ids), or ``None`` when infeasible."""
@@ -72,7 +77,8 @@ def dichromatic_clique_witness(
         engine=engine)
     with span:
         found = _witness(graph, tau_l, tau_r, stats, active, engine,
-                         active_mask, span if tracer.enabled else None)
+                         active_mask, span if tracer.enabled else None,
+                         budget)
         if tracer.enabled:
             span.set(found=found is not None)
     return found
@@ -87,6 +93,7 @@ def _witness(
     engine: str,
     active_mask: int | None,
     span: Span | None,
+    budget: "Budget | None",
 ) -> set[int] | None:
     """Engine dispatch behind the public check (span already open)."""
     witness: list[int] = []
@@ -95,7 +102,8 @@ def _witness(
             active = set(graph.vertices())
         else:
             active = set(active)
-        if _check(graph, active, tau_l, tau_r, stats, witness, span):
+        if _check(graph, active, tau_l, tau_r, stats, witness, span,
+                  budget):
             return set(witness)
         return None
     if active_mask is None:
@@ -105,7 +113,7 @@ def _witness(
             active_mask = mask_of(active)
     if _check_bits(
             graph.adjacency_bits(), graph.left_bits(), graph.num_vertices,
-            active_mask, tau_l, tau_r, stats, witness, span):
+            active_mask, tau_l, tau_r, stats, witness, span, budget):
         return set(witness)
     return None
 
@@ -120,11 +128,14 @@ def _check_bits(
     stats: "SearchStats | None",
     witness: list[int],
     span: Span | None = None,
+    budget: "Budget | None" = None,
 ) -> bool:
     if stats is not None:
         stats.nodes += 1
     if span is not None:
         span.count("nodes")
+    if budget is not None:
+        budget.spend()
     if tau_l == 0 and tau_r == 0:
         return True
     active = bicore_active_mask(adj, left_mask, tau_l, tau_r, active)
@@ -170,7 +181,7 @@ def _check_bits(
             next_l, next_r = tau_l, tau_r - 1
         witness.append(v)
         if _check_bits(adj, left_mask, num_vertices, adj[v] & active,
-                       next_l, next_r, stats, witness, span):
+                       next_l, next_r, stats, witness, span, budget):
             return True
         witness.pop()
         pool &= ~bit
@@ -192,11 +203,14 @@ def _check(
     stats: "SearchStats | None",
     witness: list[int] | None,
     span: Span | None = None,
+    budget: "Budget | None" = None,
 ) -> bool:
     if stats is not None:
         stats.nodes += 1
     if span is not None:
         span.count("nodes")
+    if budget is not None:
+        budget.spend()
     if tau_l == 0 and tau_r == 0:
         return True
     active = bicore_active(graph, tau_l, tau_r, active)
@@ -224,7 +238,7 @@ def _check(
         if witness is not None:
             witness.append(v)
         if _check(graph, graph.neighbors(v) & active,
-                  next_l, next_r, stats, witness, span):
+                  next_l, next_r, stats, witness, span, budget):
             return True
         if witness is not None:
             witness.pop()

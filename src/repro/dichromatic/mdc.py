@@ -44,6 +44,7 @@ from ..kernels.active import (
 )
 from ..kernels.bitset import mask_of
 from ..obs import Span, Tracer, current_tracer
+from ..resilience.budget import Budget
 from .cores import coloring_upper_bound_active, k_core_active
 from .graph import DichromaticGraph
 
@@ -74,6 +75,7 @@ def solve_mdc(
     engine: str = "bitset",
     active_mask: int | None = None,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> set[int] | None:
     """Solve one maximum-dichromatic-clique instance.
 
@@ -111,6 +113,10 @@ def solve_mdc(
         Optional :class:`repro.obs.Tracer`; defaults to the ambient
         tracer.  Each instance closes one ``mdc`` span recording the
         instance size, thresholds, branch count and outcome.
+    budget:
+        Optional :class:`repro.resilience.Budget`; charged one node
+        per branch-and-bound node, so a budgeted caller is interrupted
+        (``BudgetExceeded``) mid-instance rather than after it.
 
     Returns
     -------
@@ -126,7 +132,7 @@ def solve_mdc(
         found = _solve(
             graph, tau_l, tau_r, must_exceed, stats, check_only,
             active, use_coloring, use_core, engine, active_mask,
-            span if tracer.enabled else None)
+            span if tracer.enabled else None, budget)
         if tracer.enabled:
             span.set(found=found is not None)
             nodes = span.attrs.get("nodes", 0)
@@ -148,6 +154,7 @@ def _solve(
     engine: str,
     active_mask: int | None,
     span: Span | None,
+    budget: "Budget | None",
 ) -> set[int] | None:
     """Engine dispatch behind :func:`solve_mdc` (span already open)."""
     if engine == "set":
@@ -155,6 +162,7 @@ def _solve(
         state.use_coloring = use_coloring
         state.use_core = use_core
         state.span = span
+        state.budget = budget
         if active is None:
             active = set(graph.vertices())
         else:
@@ -174,6 +182,7 @@ def _solve(
     state_b.use_coloring = use_coloring
     state_b.use_core = use_core
     state_b.span = span
+    state_b.budget = budget
     try:
         state_b.search([], active_mask, tau_l, tau_r, check_only)
     except FeasibleFound as found:
@@ -205,6 +214,7 @@ class _BitsetState:
         self.use_coloring = True
         self.use_core = True
         self.span: Span | None = None
+        self.budget: Budget | None = None
 
     def search(
         self,
@@ -219,6 +229,8 @@ class _BitsetState:
             self.stats.nodes += 1
         if self.span is not None:
             self.span.count("nodes")
+        if self.budget is not None:
+            self.budget.spend()
         if tau_l <= 0 and tau_r <= 0:
             if check_only:
                 # Boundary materialisation: the found clique leaves the
@@ -309,6 +321,7 @@ class _State:
         self.use_coloring = True
         self.use_core = True
         self.span: Span | None = None
+        self.budget: Budget | None = None
 
     def search(
         self,
@@ -323,6 +336,8 @@ class _State:
             self.stats.nodes += 1
         if self.span is not None:
             self.span.count("nodes")
+        if self.budget is not None:
+            self.budget.spend()
         if tau_l <= 0 and tau_r <= 0:
             if check_only:
                 raise FeasibleFound(set(clique))

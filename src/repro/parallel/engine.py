@@ -1,4 +1,4 @@
-"""The fan-out driver: pools, dispatch, and result aggregation.
+"""The fan-out driver: task planning, dispatch, result aggregation.
 
 ``mbc_ego_fanout`` replaces the serial ego-network sweep of MBC* when
 ``parallel > 1``; ``pf_round_fanout`` does the same for PF*'s
@@ -7,9 +7,14 @@ serial engines regardless of scheduling:
 
 * every task is defined by ``(u, higher-ranked mask)`` alone, so the
   union of tasks covers every candidate clique whatever the order;
-* the shared incumbent only ever *grows*, and only to sizes of cliques
-  actually found, so a task skipped against it can never have held a
-  strictly larger clique;
+* the shared incumbent only ever *grows* during a dispatch, and only
+  to sizes of cliques actually found, so a task skipped against it can
+  never have held a strictly larger clique — with one exception: after
+  a pool failure the register is reset to the floor certified by
+  *delivered* results (``on_recover``), because a bound published by a
+  chunk whose result was lost is a claim nobody holds a witness for,
+  and re-running that chunk against it would prune away its own
+  re-certification;
 * the parent aggregates every worker's best witness and takes the
   maximum.
 
@@ -23,26 +28,32 @@ packed into compact byte blobs; if no pool can be created at all, the
 same chunk runners execute in-process, which is also what tiny
 workloads get (``MIN_POOL_TASKS``) since a pool costs ~10–20 ms to
 spin up.
+
+All pool mechanics live in :class:`~repro.parallel.dispatch.
+ResilientDispatcher` (see :mod:`repro.parallel.dispatch`): chunks are
+accounted individually, a dead or raising worker costs one pool
+rebuild and a re-dispatch of only the unfinished chunks, a second
+failure degrades to the in-process runner, and solve budgets
+(:class:`repro.resilience.Budget`) are enforced between chunk results
+— so a fan-out solve never loses work, never hangs, and stops on its
+deadline even while the work sits in worker processes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from ..core.result import BalancedClique
 from ..core.stats import SearchStats
 from ..obs import Tracer, current_tracer
+from ..resilience.budget import Budget, BudgetExceeded
 from ..signed.graph import SignedGraph
-
-if TYPE_CHECKING:  # pragma: no cover
-    from multiprocessing.pool import Pool
+from .dispatch import ResilientDispatcher, preferred_start_method
 from .incumbent import SharedIncumbent
 from .tasks import chunk_vertices, cost_ordered, estimated_work, \
     is_viable, plan_tasks
-from .worker import WorkerContext, install_context, run_dcc_chunk, \
-    run_mdc_chunk
-from . import worker as worker_module
+from .worker import WorkerContext, install_context, \
+    run_dcc_chunk_task, run_mdc_chunk_task
 
 __all__ = [
     "resolve_workers",
@@ -63,11 +74,6 @@ MIN_POOL_TASKS = 24
 #: a net loss for it.
 MIN_POOL_WORK = 150_000
 
-#: Test hook: force a specific multiprocessing start method (e.g.
-#: ``"spawn"`` to exercise the packed-payload path on Linux), or
-#: ``"none"`` to simulate a platform without usable pools.
-FORCE_START_METHOD: str | None = None
-
 
 def resolve_workers(parallel: int | None) -> int:
     """Normalize the ``parallel`` knob: ``None``/``0``/``1`` mean
@@ -77,53 +83,25 @@ def resolve_workers(parallel: int | None) -> int:
     return int(parallel)
 
 
-def preferred_start_method() -> str | None:
-    """``"fork"`` where available (zero-copy context shipping),
-    ``"spawn"`` otherwise, ``None`` when pools cannot be used."""
-    if FORCE_START_METHOD is not None:
-        return None if FORCE_START_METHOD == "none" else \
-            FORCE_START_METHOD
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return "fork"
-    if "spawn" in methods:
-        return "spawn"
-    return None  # pragma: no cover - no such CPython platform
+def _want_accounting(stats: SearchStats | None,
+                     budget: "Budget | None") -> bool:
+    """Whether chunk results must carry stats deltas.
+
+    A node-capped budget needs them even when the caller passed no
+    ``stats``: the parent charges each chunk's node count against the
+    budget as results arrive (chunk-granular — a worker never holds a
+    budget of its own).
+    """
+    return stats is not None or (
+        budget is not None and budget.max_nodes is not None)
 
 
-def _make_pool(workers: int, ctx_obj: WorkerContext) -> "Pool | None":
-    """Create a worker pool with the context shipped, or ``None`` when
-    the platform cannot provide one (callers then run in-process)."""
-    method = preferred_start_method()
-    if method is None:
-        return None
-    try:
-        mp_ctx = multiprocessing.get_context(method)
-        if method == "fork":
-            # Children inherit the module global through fork.
-            install_context(ctx_obj)
-            return mp_ctx.Pool(workers)
-        return mp_ctx.Pool(
-            workers,
-            initializer=worker_module.init_spawned_worker,
-            initargs=(ctx_obj.pack(), ctx_obj.incumbent.handle))
-    except OSError:  # pragma: no cover - resource exhaustion
-        return None
-
-
-def _run_chunks(
-    pool: "Pool | None",
-    runner: Callable[[Any], Any],
-    chunks: Iterable[Any],
-    ctx_obj: WorkerContext,
-) -> Iterator[Any]:
-    """Yield chunk results from the pool, or in-process when absent."""
-    if pool is None:
-        install_context(ctx_obj)
-        for chunk in chunks:
-            yield runner(chunk)
-        return
-    yield from pool.imap_unordered(runner, chunks)
+def _charge_chunk(budget: "Budget | None",
+                  chunk_stats: SearchStats | None) -> None:
+    """Charge one chunk's branch-and-bound nodes against the budget
+    (raises ``BudgetExceeded`` when that crosses the node cap)."""
+    if budget is not None and chunk_stats is not None:
+        budget.spend(chunk_stats.nodes)
 
 
 def mbc_ego_fanout(
@@ -137,6 +115,7 @@ def mbc_ego_fanout(
     use_coloring: bool = True,
     stats: SearchStats | None = None,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> BalancedClique:
     """Run MBC*'s ego-network sweep as a parallel fan-out.
 
@@ -146,7 +125,11 @@ def mbc_ego_fanout(
     incumbent (heuristic or caller-seeded), ``order`` the processing
     order over the ``|C*|``-core.  A live ``trace`` asks the workers
     for per-chunk :class:`~repro.obs.TraceBuffer` deltas, absorbed
-    under one ``fanout`` span as chunk results arrive.
+    under one ``fanout`` span as chunk results arrive.  A ``budget``
+    is enforced at chunk granularity: the deadline between chunk
+    results (the dispatcher's heartbeat), the node cap from the
+    chunks' stats deltas; on exhaustion the already-aggregated best
+    witness is returned (anytime contract).
     """
     tracer = trace if trace is not None else current_tracer()
     pos_bits = working.pos_adjacency_bits()
@@ -167,37 +150,54 @@ def mbc_ego_fanout(
         best.size,
         multiprocessing.get_context(preferred_start_method())
         if preferred_start_method() is not None else None)
+    want_accounting = _want_accounting(stats, budget)
     ctx_obj = WorkerContext(
         pos_bits, neg_bits, working.num_vertices, tau, order, incumbent,
         use_core=use_core, use_coloring=use_coloring,
-        want_stats=stats is not None, want_trace=tracer.enabled)
+        want_stats=want_accounting, want_trace=tracer.enabled)
     chunks = chunk_vertices([t.u for t in viable], workers)
 
-    pool = None
-    if (workers > 1 and len(viable) >= MIN_POOL_TASKS
-            and estimated_work(viable) >= MIN_POOL_WORK):
-        pool = _make_pool(workers, ctx_obj)
+    want_pool = (workers > 1 and len(viable) >= MIN_POOL_TASKS
+                 and estimated_work(viable) >= MIN_POOL_WORK)
+    dispatcher = ResilientDispatcher(workers, ctx_obj,
+                                     want_pool=want_pool)
     try:
         best_witness = None
         best_size = best.size
-        with tracer.span("fanout", tasks=len(viable), workers=workers,
-                         pooled=pool is not None):
-            for witness, chunk_stats, buffer, _examined, _skipped \
-                    in _run_chunks(pool, run_mdc_chunk, chunks, ctx_obj):
-                if chunk_stats is not None and stats is not None:
-                    stats.merge(chunk_stats)
-                if buffer is not None:
-                    tracer.absorb(buffer)
-                if witness is not None:
-                    u, members = witness
-                    size = len(members) + 1
-                    if size > best_size:
-                        best_size = size
-                        best_witness = witness
+        with tracer.span("fanout", tasks=len(viable),
+                         workers=workers) as fan_span:
+            try:
+                # On a pool failure the incumbent drops back to the
+                # best *delivered* size: a lost chunk may have
+                # published a size it can no longer prove, and its
+                # re-run would be pruned by its own stale publication.
+                for witness, chunk_stats, buffer, _examined, _skipped \
+                        in dispatcher.run(
+                            run_mdc_chunk_task, chunks, budget=budget,
+                            on_recover=lambda:
+                                incumbent.reset(best_size)):
+                    if chunk_stats is not None and stats is not None:
+                        stats.merge(chunk_stats)
+                    _charge_chunk(budget, chunk_stats)
+                    if buffer is not None:
+                        tracer.absorb(buffer)
+                    if witness is not None:
+                        u, members = witness
+                        size = len(members) + 1
+                        if size > best_size:
+                            best_size = size
+                            best_witness = witness
+            except BudgetExceeded:
+                dispatcher.abort()
+            if tracer.enabled:
+                report = dispatcher.report
+                fan_span.set(pooled=report.pooled,
+                             rebuilds=report.rebuilds,
+                             degraded=report.degraded)
+                if budget is not None:
+                    fan_span.set(status=budget.status.value)
     finally:
-        if pool is not None:
-            pool.close()
-            pool.join()
+        dispatcher.close()
         install_context(None)
 
     if best_witness is None:
@@ -217,12 +217,13 @@ def pf_round_fanout(
     working: SignedGraph,
     mapping: list[int],
     order: list[int],
-    pn: "dict[int, int] | None",
+    pn: "dict[int, int] | list[int] | None",
     tau_star: int,
     witness: BalancedClique,
     workers: int,
     stats: SearchStats | None = None,
     trace: Tracer | None = None,
+    budget: "Budget | None" = None,
 ) -> tuple[int, BalancedClique]:
     """Run PF*'s DCC sweep as rounds of parallel +1 questions.
 
@@ -236,6 +237,9 @@ def pf_round_fanout(
     scheduling — each round needs only monotone bars, which the shared
     incumbent guarantees.  A live ``trace`` wraps each round in a
     ``round`` span and absorbs the workers' trace deltas under it.
+    A ``budget`` stops between rounds or between a round's chunks;
+    ``tau_star``/``witness`` are only advanced together after a full
+    round, so the truncated return is always a certified pair.
     """
     tracer = trace if trace is not None else current_tracer()
     pos_bits = working.pos_adjacency_bits()
@@ -245,37 +249,67 @@ def pf_round_fanout(
         tau_star,
         multiprocessing.get_context(method) if method is not None
         else None)
+    want_accounting = _want_accounting(stats, budget)
     ctx_obj = WorkerContext(
         pos_bits, neg_bits, working.num_vertices, 0, order, incumbent,
-        want_stats=stats is not None, want_trace=tracer.enabled)
+        want_stats=want_accounting, want_trace=tracer.enabled)
+
+    # PDecompose hands pn as a dense list; other reduction paths pass a
+    # (possibly partial) dict.  Normalize so the round filter can use
+    # ``.get`` with a safe default for vertices missing an entry.
+    pn_map: "dict[int, int] | None"
+    if pn is None:
+        pn_map = None
+    elif isinstance(pn, dict):
+        pn_map = pn
+    else:
+        pn_map = dict(enumerate(pn))
 
     pending = [u for u in reversed(order)]
-    pool = None
-    if workers > 1 and len(pending) >= MIN_POOL_TASKS:
-        pool = _make_pool(workers, ctx_obj)
+    want_pool = workers > 1 and len(pending) >= MIN_POOL_TASKS
+    dispatcher = ResilientDispatcher(workers, ctx_obj,
+                                     want_pool=want_pool)
+    # The bar certified by *delivered* successes.  On a pool failure
+    # the incumbent drops back to this floor: a lost chunk may have
+    # published a bar it can no longer prove, and its re-run (asked at
+    # that elevated bar) would fail the +1 question its original run
+    # answered — silently losing the optimum.
+    certified = tau_star
     try:
         while True:
+            if budget is not None:
+                budget.check()
             # Lemma 5: pn(u) bounds gamma(g_u); once the bar passes it,
             # the vertex can never answer a +1 question positively.
-            if pn is not None:
-                pending = [u for u in pending if pn[u] > tau_star]
+            # A vertex absent from pn was dropped by PDecompose's own
+            # reduction, so it gets the no-op default tau_star + 1 and
+            # the DCC question decides (it bounds, never filters, so a
+            # loose default costs one question, not correctness).
+            if pn_map is not None:
+                pending = [u for u in pending
+                           if pn_map.get(u, tau_star + 1) > tau_star]
             if not pending:
                 break
             if stats is not None:
                 stats.vertices_examined += len(pending)
-            chunks = [(tau_star, chunk)
-                      for chunk in chunk_vertices(pending, workers)]
+            payloads = [(tau_star, chunk)
+                        for chunk in chunk_vertices(pending, workers)]
             round_successes: list[tuple[int, int, list]] = []
             with tracer.span("round", bar=tau_star,
                              pending=len(pending)) as round_span:
                 for successes, chunk_stats, buffer, _examined \
-                        in _run_chunks(
-                            pool, run_dcc_chunk, chunks, ctx_obj):
+                        in dispatcher.run(
+                            run_dcc_chunk_task, payloads, budget=budget,
+                            on_recover=lambda:
+                                incumbent.reset(certified)):
                     if chunk_stats is not None and stats is not None:
                         stats.merge(chunk_stats)
+                    _charge_chunk(budget, chunk_stats)
                     if buffer is not None:
                         tracer.absorb(buffer)
                     round_successes.extend(successes)
+                    for _u, bar, _m in successes:
+                        certified = max(certified, bar + 1)
                 round_span.set(successes=len(round_successes))
             if not round_successes:
                 break
@@ -299,9 +333,11 @@ def pf_round_fanout(
             incumbent.improve(tau_star)
             survivors = {s[0] for s in round_successes}
             pending = [u for u in pending if u in survivors]
+    except BudgetExceeded:
+        # Anytime: the (tau_star, witness) pair from the last full
+        # round is certified; in-flight round work is abandoned.
+        dispatcher.abort()
     finally:
-        if pool is not None:
-            pool.close()
-            pool.join()
+        dispatcher.close()
         install_context(None)
     return tau_star, witness

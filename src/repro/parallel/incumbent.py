@@ -86,6 +86,23 @@ class SharedIncumbent:
             return self._local
         return self._value.value
 
+    def reset(self, value: int) -> None:
+        """Forcibly store ``value``, abandoning monotonicity.
+
+        Only legal while **no worker process is alive** — the resilient
+        dispatcher calls this between terminating a failed pool and
+        re-dispatching, to drop the register back to the parent's
+        *certified* floor (delivered results only).  A publication from
+        a chunk whose result was lost to the failure would otherwise
+        keep pruning, and the re-dispatched chunk could never
+        re-certify the very value that is pruning it.
+        """
+        if self._value is None:
+            self._local = value
+        else:
+            with self._value.get_lock():
+                self._value.value = value
+
     def improve(self, value: int) -> bool:
         """Raise the register to ``value`` if larger.
 

@@ -43,6 +43,7 @@ from ..kernels.active import (
 )
 from ..kernels.bitset import masks_from_bytes, masks_to_bytes
 from ..obs import TraceBuffer, get_tracer, install_tracer
+from ..resilience.faults import fire_faults
 from .incumbent import SharedIncumbent
 from .tasks import suffix_masks
 
@@ -52,6 +53,8 @@ __all__ = [
     "init_spawned_worker",
     "run_mdc_chunk",
     "run_dcc_chunk",
+    "run_mdc_chunk_task",
+    "run_dcc_chunk_task",
     "PackedContext",
     "MdcChunkResult",
     "DccChunkResult",
@@ -249,6 +252,31 @@ def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
         install_tracer(previous)
     buffer = tracer.export_buffer() if ctx.want_trace else None
     return best_witness, stats, buffer, len(chunk), skipped
+
+
+def run_mdc_chunk_task(
+    task: "tuple[int, int, list[int]]",
+) -> "tuple[int, MdcChunkResult]":
+    """Dispatch envelope for :func:`run_mdc_chunk`.
+
+    ``task`` is the resilient dispatcher's ``(chunk index, dispatch
+    attempt, payload)`` triple; the index round-trips so the parent
+    can account per-chunk completion, and ``(index, attempt)`` keys
+    the fault-injection plan (:mod:`repro.resilience.faults`) — a
+    no-op unless the chaos suite installed one.
+    """
+    idx, attempt, chunk = task
+    fire_faults(idx, attempt)
+    return idx, run_mdc_chunk(chunk)
+
+
+def run_dcc_chunk_task(
+    task: "tuple[int, int, tuple[int, list[int]]]",
+) -> "tuple[int, DccChunkResult]":
+    """Dispatch envelope for :func:`run_dcc_chunk` (see above)."""
+    idx, attempt, payload = task
+    fire_faults(idx, attempt)
+    return idx, run_dcc_chunk(payload)
 
 
 def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:

@@ -1,0 +1,55 @@
+"""Resilience layer: solve budgets and deterministic fault injection.
+
+``repro.resilience`` is a bottom layer of the import DAG (like
+:mod:`repro.obs`): it imports nothing from the solver stack, and the
+solver stack threads its primitives through as plain parameters.
+
+* :mod:`repro.resilience.budget` — the deadline / node-count budget
+  behind the anytime-solver contract (``--timeout`` / ``--max-nodes``):
+  a truncated solve returns its best proven incumbent plus
+  ``status = BUDGET_EXHAUSTED`` instead of raising or hanging.
+* :mod:`repro.resilience.faults` — an environment-driven fault plan
+  (kill / raise / stall, keyed by chunk index and dispatch attempt)
+  that the chaos test suite uses to prove the parallel engine survives
+  worker death without losing work.
+
+See ``docs/ROBUSTNESS.md`` for the full contract.
+"""
+
+from .budget import (
+    DEADLINE_CHECK_INTERVAL,
+    Budget,
+    BudgetExceeded,
+    Status,
+)
+from .faults import (
+    ENV_FAULTS,
+    ENV_FAULTS_PARENT,
+    Fault,
+    FaultInjected,
+    KILL_EXIT_CODE,
+    active_faults,
+    clear_faults,
+    encode_plan,
+    fire_faults,
+    install_faults,
+    parse_plan,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "Status",
+    "DEADLINE_CHECK_INTERVAL",
+    "Fault",
+    "FaultInjected",
+    "ENV_FAULTS",
+    "ENV_FAULTS_PARENT",
+    "KILL_EXIT_CODE",
+    "install_faults",
+    "clear_faults",
+    "active_faults",
+    "fire_faults",
+    "parse_plan",
+    "encode_plan",
+]

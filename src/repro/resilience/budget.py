@@ -1,0 +1,169 @@
+"""Solve budgets: wall-clock deadlines and branch-and-bound node caps.
+
+A :class:`Budget` is created once per solve (``Budget(deadline=5.0)``,
+``Budget(max_nodes=100_000)``, or both) and threaded through the
+solver stack as a ``budget=`` kwarg.  The solvers charge it at three
+granularities:
+
+* :meth:`Budget.spend` — once per branch-and-bound node, inside the
+  MDC / DCC recursion.  The node ceiling is exact; the wall clock is
+  only polled every :data:`DEADLINE_CHECK_INTERVAL` spent nodes so the
+  hot path stays a counter increment and two comparisons.
+* :meth:`Budget.check` — at coarse checkpoints (per ego network, per
+  binary-search probe, per PF* round, per gMBC* tau) where a clock
+  read is cheap relative to the work it gates.
+* the parallel dispatcher's heartbeat — between chunk results, so a
+  pooled solve honours the deadline even while all the work is in
+  worker processes.
+
+Exhaustion raises :class:`BudgetExceeded`; each solver catches it at
+the level where its incumbent lives and returns that incumbent — the
+*anytime* contract.  The budget records what happened: ``status`` is
+:attr:`Status.BUDGET_EXHAUSTED` afterwards and :attr:`Budget.reason`
+names the exhausted resource (``"deadline"`` or ``"nodes"``).  Once
+exhausted a budget stays exhausted: ``check()`` keeps raising, so a
+budget shared across probes (binary search, gMBC*) stops the whole
+composition, not just the probe that tripped it.
+
+The clock is injectable for deterministic tests; production use reads
+``time.monotonic``.  This module deliberately lives outside the
+R008-traced packages so it may read clocks directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "Status",
+    "DEADLINE_CHECK_INTERVAL",
+]
+
+
+class Status(enum.Enum):
+    """Outcome classification of a (possibly budgeted) solve."""
+
+    #: The solver ran to completion; its answer is exact.
+    OPTIMAL = "optimal"
+    #: The budget ran out; the answer is a certified lower bound (a
+    #: real clique / proven tau*), not necessarily the optimum.
+    BUDGET_EXHAUSTED = "budget_exhausted"
+
+
+class BudgetExceeded(Exception):
+    """Raised by budget checks when a resource limit is crossed.
+
+    Solvers catch this at the granularity where their incumbent is in
+    scope and return the incumbent; user code normally never sees it.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"solve budget exhausted ({reason})")
+        self.reason = reason
+
+
+#: :meth:`Budget.spend` polls the wall clock once per this many spent
+#: nodes.  A branch-and-bound node costs far more than 1/256th of a
+#: ``time.monotonic`` call, so deadline overshoot stays negligible
+#: while the per-node cost stays a counter and two comparisons.
+DEADLINE_CHECK_INTERVAL = 256
+
+
+class Budget:
+    """A per-solve resource budget (wall-clock and/or node count).
+
+    ``deadline`` is seconds from construction; ``max_nodes`` caps the
+    total branch-and-bound nodes spent across every MDC/DCC instance
+    of the solve (including pooled workers, accounted per chunk).
+    Either may be ``None``.  ``clock`` is injectable for tests.
+    """
+
+    __slots__ = ("deadline", "max_nodes", "nodes", "reason",
+                 "_clock", "_deadline_at", "_tick")
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        max_nodes: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
+        if max_nodes is not None and max_nodes < 0:
+            raise ValueError(f"max_nodes must be >= 0, got {max_nodes}")
+        self.deadline = deadline
+        self.max_nodes = max_nodes
+        self.nodes = 0
+        #: ``None`` until exhausted, then ``"deadline"`` or ``"nodes"``.
+        self.reason: str | None = None
+        self._clock = clock
+        self._deadline_at = (
+            None if deadline is None else clock() + deadline)
+        self._tick = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether a limit has been *observed* crossed (sticky)."""
+        return self.reason is not None
+
+    @property
+    def status(self) -> Status:
+        """The anytime status this budget implies for its solve."""
+        return (Status.BUDGET_EXHAUSTED if self.reason is not None
+                else Status.OPTIMAL)
+
+    def expired_reason(self) -> str | None:
+        """Which limit is crossed right now, without raising.
+
+        Used by the dispatcher's heartbeat, where the raise must happen
+        on the consumer side of the generator.
+        """
+        if self.reason is not None:
+            return self.reason
+        if self.max_nodes is not None and self.nodes > self.max_nodes:
+            return "nodes"
+        if (self._deadline_at is not None
+                and self._clock() >= self._deadline_at):
+            return "deadline"
+        return None
+
+    # -- charging ------------------------------------------------------
+
+    def spend(self, nodes: int = 1) -> None:
+        """Charge ``nodes`` branch-and-bound nodes; raise when over.
+
+        The hot-path call.  Guard call sites with
+        ``if budget is not None`` so an unbudgeted solve pays a single
+        comparison per node and nothing else.
+        """
+        self.nodes += nodes
+        if self.max_nodes is not None and self.nodes > self.max_nodes:
+            self.exceed("nodes")
+        if self._deadline_at is not None:
+            self._tick += nodes
+            if self._tick >= DEADLINE_CHECK_INTERVAL:
+                self._tick = 0
+                if self._clock() >= self._deadline_at:
+                    self.exceed("deadline")
+
+    def check(self) -> None:
+        """Coarse checkpoint: poll both limits, raise when over.
+
+        Also re-raises when already exhausted, so a shared budget stops
+        every later phase of a composite solve immediately.
+        """
+        reason = self.expired_reason()
+        if reason is not None:
+            self.exceed(reason)
+
+    def exceed(self, reason: str) -> None:
+        """Mark the budget exhausted (first reason wins) and raise."""
+        if self.reason is None:
+            self.reason = reason
+        raise BudgetExceeded(self.reason)

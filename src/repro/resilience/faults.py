@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the parallel dispatch path.
+
+The chaos test suite needs to prove that the fan-out engine survives a
+worker dying mid-chunk, a chunk runner raising, and a chunk stalling —
+*deterministically*, across both ``fork`` and ``spawn`` pools.  The
+only channel that reaches workers under both start methods without
+touching the dispatch payloads is the environment, so the fault plan
+lives in two environment variables:
+
+* :data:`ENV_FAULTS` — the plan itself, ``;``-separated tokens of the
+  form ``kind@chunk#attempt`` (``stall`` adds ``:seconds``), e.g.
+  ``"kill@0#0;stall@2#0:0.5"``: kill the worker running chunk 0 on
+  dispatch attempt 0, stall chunk 2 for half a second.
+* :data:`ENV_FAULTS_PARENT` — the pid of the process that installed
+  the plan.  :func:`fire_faults` never fires in that process, so a
+  ``kill`` fault can only ever take down a *worker*; the in-process
+  fallback path (which runs chunk code in the parent) is immune by
+  construction.
+
+Faults are keyed by ``(chunk index, dispatch attempt)``: when the
+dispatcher rebuilds a pool and re-dispatches, the attempt number
+increments and a once-keyed fault does not re-fire — which is exactly
+the "crash once, recover" story the chaos tests script.
+
+With :data:`ENV_FAULTS` unset, :func:`fire_faults` is one dict lookup
+per chunk — nothing on the solver hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "Fault",
+    "FaultInjected",
+    "ENV_FAULTS",
+    "ENV_FAULTS_PARENT",
+    "KILL_EXIT_CODE",
+    "FAULT_KINDS",
+    "install_faults",
+    "clear_faults",
+    "active_faults",
+    "fire_faults",
+    "parse_plan",
+    "encode_plan",
+]
+
+#: Fault plan spec (see module docstring for the grammar).
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Pid of the installing process; faults never fire there.
+ENV_FAULTS_PARENT = "REPRO_FAULTS_PARENT"
+
+#: Exit status of a ``kill``-faulted worker — distinctive on purpose,
+#: so a chaos-test failure log reads as an injected death, not a crash.
+KILL_EXIT_CODE = 87
+
+FAULT_KINDS = ("kill", "raise", "stall")
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``raise``-kind fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault: what to do, at which chunk, which attempt."""
+
+    kind: str
+    chunk: int
+    attempt: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {FAULT_KINDS})")
+        if self.chunk < 0 or self.attempt < 0:
+            raise ValueError(
+                f"fault chunk/attempt must be >= 0: {self}")
+        if self.seconds < 0:
+            raise ValueError(f"fault seconds must be >= 0: {self}")
+
+
+def encode_plan(faults: Iterable[Fault]) -> str:
+    """Serialize faults to the :data:`ENV_FAULTS` wire format."""
+    tokens = []
+    for fault in faults:
+        token = f"{fault.kind}@{fault.chunk}#{fault.attempt}"
+        if fault.kind == "stall":
+            token += f":{fault.seconds:g}"
+        tokens.append(token)
+    return ";".join(tokens)
+
+
+def parse_plan(spec: str) -> tuple[Fault, ...]:
+    """Parse a fault-plan spec; raises ``ValueError`` on bad tokens."""
+    faults = []
+    for token in spec.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            kind, _, rest = token.partition("@")
+            chunk_part, _, tail = rest.partition("#")
+            attempt_part, _, seconds_part = tail.partition(":")
+            fault = Fault(
+                kind=kind,
+                chunk=int(chunk_part),
+                attempt=int(attempt_part) if attempt_part else 0,
+                seconds=float(seconds_part) if seconds_part else 0.0)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad fault token {token!r}: {exc}") from exc
+        faults.append(fault)
+    return tuple(faults)
+
+
+def install_faults(plan: "Iterable[Fault] | str") -> None:
+    """Activate a fault plan for this process and its future workers.
+
+    Accepts either :class:`Fault` objects or a pre-encoded spec string;
+    either way the plan is validated eagerly so a typo fails in the
+    test, not silently in a worker.
+    """
+    spec = plan if isinstance(plan, str) else encode_plan(plan)
+    parse_plan(spec)
+    os.environ[ENV_FAULTS] = spec
+    os.environ[ENV_FAULTS_PARENT] = str(os.getpid())
+
+
+def clear_faults() -> None:
+    """Deactivate any installed fault plan."""
+    os.environ.pop(ENV_FAULTS, None)
+    os.environ.pop(ENV_FAULTS_PARENT, None)
+
+
+#: Parsed-plan cache keyed by the raw spec string (the spec is tiny,
+#: but workers call :func:`active_faults` once per chunk).
+_PARSED: "tuple[str, tuple[Fault, ...]] | None" = None
+
+
+def active_faults() -> tuple[Fault, ...]:
+    """The currently installed fault plan (empty when none)."""
+    global _PARSED
+    spec = os.environ.get(ENV_FAULTS)
+    if not spec:
+        return ()
+    if _PARSED is None or _PARSED[0] != spec:
+        _PARSED = (spec, parse_plan(spec))
+    return _PARSED[1]
+
+
+def fire_faults(chunk: int, attempt: int) -> None:
+    """Trigger any fault planned for ``(chunk, attempt)``.
+
+    Called by the chunk-runner envelopes before real work starts.
+    No-ops when no plan is installed, and always no-ops in the process
+    that installed the plan (see :data:`ENV_FAULTS_PARENT`), so the
+    in-process fallback can never be killed by its own fault plan.
+    """
+    if ENV_FAULTS not in os.environ:
+        return
+    if os.environ.get(ENV_FAULTS_PARENT) == str(os.getpid()):
+        return
+    for fault in active_faults():
+        if fault.chunk == chunk and fault.attempt == attempt:
+            if fault.kind == "stall":
+                time.sleep(fault.seconds)
+            elif fault.kind == "raise":
+                raise FaultInjected(
+                    f"injected fault: chunk {chunk} "
+                    f"attempt {attempt}")
+            else:  # kill: die hard, exactly like an OOM kill would
+                os._exit(KILL_EXIT_CODE)

@@ -35,7 +35,10 @@ def parse_edge_lines(
     """Parse edge-list lines into ``(u, v, sign)`` triples.
 
     Blank lines and ``#`` comments are skipped.  Raises ``ValueError``
-    with the offending line number for malformed input.
+    with the offending line number for malformed input, including
+    self-loops — :class:`~repro.signed.graph.SignedGraph` would reject
+    one anyway, but only after id compaction has destroyed the line
+    number the user needs to fix their file.
     """
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
@@ -51,6 +54,10 @@ def parse_edge_lines(
         except ValueError as exc:
             raise ValueError(
                 f"line {lineno}: non-integer endpoint in {line!r}") from exc
+        if u == v:
+            raise ValueError(
+                f"line {lineno}: self-loop ({u}, {v}) — signed graphs "
+                f"here are simple")
         token = parts[2]
         if token in _POSITIVE_TOKENS:
             sign = POSITIVE
@@ -95,9 +102,19 @@ def write_edge_list(graph: SignedGraph, stream: IO[str]) -> None:
 
 
 def load_signed_graph(path: str | os.PathLike[str]) -> SignedGraph:
-    """Load a signed graph from ``path`` (edge-list format)."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return read_edge_list(handle)
+    """Load a signed graph from ``path`` (edge-list format).
+
+    ``OSError`` is re-raised with the path attached: the CLI surfaces
+    these directly, and a bare ``ENOENT`` from three frames down is
+    useless without knowing *which* file the solve tried to read.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return read_edge_list(handle)
+    except OSError as exc:
+        raise OSError(
+            f"cannot read signed graph {os.fspath(path)!r}: "
+            f"{exc.strerror or exc}") from exc
 
 
 def save_signed_graph(

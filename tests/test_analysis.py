@@ -156,9 +156,9 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_eight_rules_with_unique_ids(self):
+    def test_nine_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 8
+        assert len(ids) == len(set(ids)) == 9
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):
@@ -421,6 +421,28 @@ def solve(n: int) -> int:
 '''
 
 
+R009_BAD = '''\
+"""Fixture."""
+__all__ = ["sweep"]
+
+
+def sweep(pool: object, chunks: "list[list[int]]") -> "list[int]":
+    return list(pool.imap_unordered(len, chunks))
+'''
+
+R009_CLEAN = '''\
+"""Fixture."""
+from ..parallel.dispatch import ResilientDispatcher
+
+__all__ = ["sweep"]
+
+
+def sweep(dispatcher: ResilientDispatcher, runner: object,
+          chunks: "list[list[int]]") -> "list[int]":
+    return list(dispatcher.run(runner, chunks))
+'''
+
+
 def _with_pragma(source: str, line_fragment: str, rule_id: str) -> str:
     """Append a noqa pragma to the first line containing the fragment."""
     lines = source.splitlines()
@@ -449,6 +471,8 @@ RULE_FIXTURES = [
      R007_CLEAN),
     ("R008", "repro.core.fixture", R008_BAD,
      "start = time.perf_counter()", R008_CLEAN),
+    ("R009", "repro.core.fixture", R009_BAD,
+     "return list(pool.imap_unordered(len, chunks))", R009_CLEAN),
 ]
 
 
@@ -486,6 +510,12 @@ class TestRuleScoping:
     def test_r001_skips_set_engine_modules(self):
         # The same set()-heavy code is fine outside the bitset scopes.
         assert rule_hits(R001_BAD, "repro.core.fixture", "R001") == []
+
+    def test_r009_exempts_the_dispatch_module(self):
+        # The resilient dispatcher *implements* the discipline, so the
+        # raw pool calls are legal exactly there.
+        assert rule_hits(
+            R009_BAD, "repro.parallel.dispatch", "R009") == []
 
     def test_r001_fires_in_bitset_class_of_mixed_module(self):
         source = (

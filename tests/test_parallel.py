@@ -24,6 +24,7 @@ from repro.core.result import BalancedClique
 from repro.core.stats import SearchStats
 from repro.kernels.bitset import mask_of, mask_stride, masks_from_bytes, \
     masks_to_bytes
+from repro.parallel import dispatch as dispatch_module
 from repro.parallel import engine as engine_module
 from repro.parallel.engine import resolve_workers
 from repro.parallel.incumbent import SharedIncumbent
@@ -135,6 +136,17 @@ class TestSharedIncumbent:
         rewrapped.improve(9)
         assert original.get() == 9
 
+    @pytest.mark.parametrize("ctx", [None, multiprocessing])
+    def test_reset_drops_orphaned_publications(self, ctx):
+        # Recovery-path escape hatch: the dispatcher resets to the
+        # certified floor between a pool failure and the re-dispatch
+        # (no live workers), abandoning monotonicity on purpose.
+        incumbent = SharedIncumbent(3, ctx)
+        incumbent.improve(9)
+        incumbent.reset(3)
+        assert incumbent.get() == 3
+        assert incumbent.improve(4)
+
 
 class TestMaskBlobs:
     @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 64, 65])
@@ -210,7 +222,7 @@ class TestFanOutEquivalence:
         "spawn" not in multiprocessing.get_all_start_methods(),
         reason="platform lacks the spawn start method")
     def test_mbc_spawn_pool(self, pool_always, monkeypatch):
-        monkeypatch.setattr(engine_module, "FORCE_START_METHOD", "spawn")
+        monkeypatch.setattr(dispatch_module, "FORCE_START_METHOD", "spawn")
         graph = random_signed_graph(5, n=40)
         serial = mbc_star(graph, 2)
         fanned = mbc_star(graph, 2, parallel=2)
@@ -218,7 +230,7 @@ class TestFanOutEquivalence:
         assert_valid(fanned, graph, 2)
 
     def test_no_pool_platform_falls_back(self, pool_always, monkeypatch):
-        monkeypatch.setattr(engine_module, "FORCE_START_METHOD", "none")
+        monkeypatch.setattr(dispatch_module, "FORCE_START_METHOD", "none")
         graph = random_signed_graph(7, n=30)
         serial = mbc_star(graph, 1)
         fanned = mbc_star(graph, 1, parallel=4)
@@ -257,3 +269,38 @@ class TestFanOutEquivalence:
         # launched any.
         if serial_stats.instances:
             assert fan_stats.nodes >= 0
+
+
+class TestRegressions:
+    def test_pf_round_fanout_tolerates_partial_pn_dict(self):
+        # pn may arrive as a partial dict (only some vertices bounded);
+        # a plain pn[u] used to KeyError on the unbounded ones.  The
+        # default tau_star + 1 keeps them pending — pn only bounds, it
+        # never filters, so the answer must still be exact.
+        graph = random_signed_graph(21, n=20)
+        expected = pf_star(graph)
+        beta, witness = engine_module.pf_round_fanout(
+            graph, list(range(graph.num_vertices)),
+            list(range(graph.num_vertices)), {0: 99}, 0,
+            BalancedClique(), workers=1)
+        assert beta == expected
+        if beta > 0:
+            assert witness.satisfies(beta)
+
+    def test_pf_round_fanout_accepts_dense_pn_list(self):
+        # The production caller (PDecompose) passes pn as a dense list.
+        graph = random_signed_graph(22, n=20)
+        expected = pf_star(graph)
+        n = graph.num_vertices
+        beta, _witness = engine_module.pf_round_fanout(
+            graph, list(range(n)), list(range(n)), [n] * n, 0,
+            BalancedClique(), workers=1)
+        assert beta == expected
+
+    def test_make_pool_swallows_bad_start_method(self, monkeypatch):
+        # get_context raises ValueError for unknown methods; _make_pool
+        # must treat that like any other pool-creation failure and let
+        # the caller run in-process instead of crashing the solve.
+        monkeypatch.setattr(dispatch_module, "FORCE_START_METHOD",
+                            "bogus")
+        assert dispatch_module._make_pool(2, None) is None

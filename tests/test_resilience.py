@@ -1,0 +1,412 @@
+"""Tests for the resilience layer: budgets, faults, anytime solves.
+
+Three layers:
+
+* unit tests of :class:`repro.resilience.Budget` (with an injectable
+  fake clock, so deadline semantics are deterministic),
+  :class:`~repro.core.result.SolveResult` and the fault-plan wire
+  format;
+* the *serial* anytime contracts — a truncated MBC*/PF*/gMBC* solve
+  returns a valid (possibly sub-maximum) answer and flags
+  ``BUDGET_EXHAUSTED``;
+* the CLI truncation exit contract (``--timeout`` / ``--max-nodes``
+  exit :data:`repro.cli.EXIT_BUDGET_EXHAUSTED`).
+
+The pooled failure paths (worker death, rebuilds, degradation) live in
+``tests/test_chaos.py``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cli import EXIT_BUDGET_EXHAUSTED, main
+from repro.core.gmbc import gmbc_naive, gmbc_star
+from repro.core.mbc_star import mbc_star
+from repro.core.pf import pf_binary_search, pf_enumeration, pf_star
+from repro.core.result import BalancedClique, SolveResult
+from repro.resilience import (
+    DEADLINE_CHECK_INTERVAL,
+    ENV_FAULTS,
+    ENV_FAULTS_PARENT,
+    Budget,
+    BudgetExceeded,
+    Fault,
+    FaultInjected,
+    Status,
+    clear_faults,
+    encode_plan,
+    fire_faults,
+    install_faults,
+    parse_plan,
+)
+from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+
+def random_signed_graph(seed: int, n: int = 40,
+                        density: float = 0.3) -> SignedGraph:
+    rng = random.Random(seed)
+    graph = SignedGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            roll = rng.random()
+            if roll < density:
+                graph.add_edge(u, v, POSITIVE)
+            elif roll < 2 * density:
+                graph.add_edge(u, v, NEGATIVE)
+    return graph
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# Budget units
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=-1.0)
+        with pytest.raises(ValueError):
+            Budget(max_nodes=-1)
+
+    def test_unlimited_budget_never_trips(self):
+        budget = Budget()
+        budget.spend(10_000_000)
+        budget.check()
+        assert not budget.exhausted
+        assert budget.status is Status.OPTIMAL
+        assert budget.nodes == 10_000_000
+
+    def test_node_cap_is_exact(self):
+        budget = Budget(max_nodes=5)
+        for _ in range(5):
+            budget.spend()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.spend()
+        assert excinfo.value.reason == "nodes"
+        assert budget.reason == "nodes"
+        assert budget.status is Status.BUDGET_EXHAUSTED
+
+    def test_batch_spend_trips_the_cap(self):
+        budget = Budget(max_nodes=5)
+        with pytest.raises(BudgetExceeded):
+            budget.spend(6)
+
+    def test_exhaustion_is_sticky(self):
+        budget = Budget(max_nodes=0)
+        with pytest.raises(BudgetExceeded):
+            budget.spend()
+        # check() keeps raising so a shared budget stops later phases.
+        with pytest.raises(BudgetExceeded):
+            budget.check()
+        assert budget.exhausted
+
+    def test_first_reason_wins(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, max_nodes=0, clock=clock)
+        with pytest.raises(BudgetExceeded):
+            budget.spend()
+        clock.advance(5.0)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check()
+        assert excinfo.value.reason == "nodes"
+
+    def test_deadline_via_check(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock)
+        budget.check()
+        clock.advance(10.0)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check()
+        assert excinfo.value.reason == "deadline"
+
+    def test_spend_polls_the_deadline_at_the_interval(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        clock.advance(2.0)  # already past the deadline
+        # The hot path only reads the clock every
+        # DEADLINE_CHECK_INTERVAL nodes, so the first
+        # interval - 1 spends pass without a clock read.
+        for _ in range(DEADLINE_CHECK_INTERVAL - 1):
+            budget.spend()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.spend()
+        assert excinfo.value.reason == "deadline"
+
+    def test_expired_reason_does_not_raise_or_mark(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        assert budget.expired_reason() is None
+        clock.advance(1.0)
+        assert budget.expired_reason() == "deadline"
+        # Observation alone is not exhaustion: only check/spend mark.
+        assert not budget.exhausted
+
+    def test_zero_deadline_expires_immediately(self):
+        clock = FakeClock()
+        budget = Budget(deadline=0.0, clock=clock)
+        with pytest.raises(BudgetExceeded):
+            budget.check()
+
+
+class TestSolveResult:
+    def test_capture_without_budget(self):
+        clique = BalancedClique.from_sides({0, 1}, {2})
+        result = SolveResult.capture(clique, None)
+        assert result.optimal
+        assert result.status is Status.OPTIMAL
+        assert result.lower_bound == 3
+        assert result.nodes == 0
+
+    def test_capture_with_exhausted_budget(self):
+        budget = Budget(max_nodes=0)
+        with pytest.raises(BudgetExceeded):
+            budget.spend()
+        clique = BalancedClique.from_sides({0, 1}, {2})
+        result = SolveResult.capture(clique, budget)
+        assert not result.optimal
+        assert result.status is Status.BUDGET_EXHAUSTED
+        assert result.nodes == budget.nodes
+
+    def test_explicit_lower_bound(self):
+        clique = BalancedClique.from_sides({0, 1}, {2})
+        result = SolveResult.capture(clique, None, lower_bound=2)
+        assert result.lower_bound == 2
+
+
+# ---------------------------------------------------------------------------
+# fault plan wire format
+
+
+@pytest.fixture
+def no_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+class TestFaultPlans:
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault("explode", 0)
+        with pytest.raises(ValueError):
+            Fault("kill", -1)
+        with pytest.raises(ValueError):
+            Fault("stall", 0, seconds=-0.5)
+
+    def test_encode_parse_round_trip(self):
+        plan = (Fault("kill", 0), Fault("raise", 2, attempt=1),
+                Fault("stall", 3, seconds=0.5))
+        spec = encode_plan(plan)
+        assert spec == "kill@0#0;raise@2#1;stall@3#0:0.5"
+        assert parse_plan(spec) == plan
+
+    def test_parse_rejects_bad_tokens(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_plan("bogus@x#y")
+        with pytest.raises(ValueError, match="explode"):
+            parse_plan("explode@0#0")
+
+    def test_install_validates_eagerly(self, no_faults):
+        with pytest.raises(ValueError):
+            install_faults("explode@0#0")
+        assert ENV_FAULTS not in os.environ
+
+    def test_install_and_clear(self, no_faults):
+        install_faults([Fault("raise", 0)])
+        assert os.environ[ENV_FAULTS] == "raise@0#0"
+        assert os.environ[ENV_FAULTS_PARENT] == str(os.getpid())
+        clear_faults()
+        assert ENV_FAULTS not in os.environ
+        assert ENV_FAULTS_PARENT not in os.environ
+
+    def test_pid_gate_protects_the_installer(self, no_faults):
+        # The installing (parent) process never fires its own faults,
+        # so the in-process fallback cannot be killed by the plan.
+        install_faults([Fault("raise", 0)])
+        fire_faults(0, 0)  # must not raise
+
+    def test_fires_when_not_the_installer(self, no_faults,
+                                          monkeypatch):
+        install_faults([Fault("raise", 0)])
+        monkeypatch.setenv(ENV_FAULTS_PARENT, "0")  # not our pid
+        with pytest.raises(FaultInjected):
+            fire_faults(0, 0)
+
+    def test_keyed_by_chunk_and_attempt(self, no_faults, monkeypatch):
+        install_faults([Fault("raise", 2, attempt=1)])
+        monkeypatch.setenv(ENV_FAULTS_PARENT, "0")
+        fire_faults(2, 0)  # wrong attempt: no-op
+        fire_faults(1, 1)  # wrong chunk: no-op
+        with pytest.raises(FaultInjected):
+            fire_faults(2, 1)
+
+    def test_stall_fault_sleeps_and_returns(self, no_faults,
+                                            monkeypatch):
+        install_faults([Fault("stall", 0, seconds=0.0)])
+        monkeypatch.setenv(ENV_FAULTS_PARENT, "0")
+        fire_faults(0, 0)  # zero-second stall: returns immediately
+
+
+# ---------------------------------------------------------------------------
+# serial anytime contracts
+
+
+class TestAnytimeSerial:
+    def test_mbc_star_zero_deadline_returns_heuristic(self):
+        graph = random_signed_graph(11)
+        optimum = mbc_star(graph, 2)
+        budget = Budget(deadline=0.0)
+        clique = mbc_star(graph, 2, budget=budget)
+        assert budget.exhausted
+        assert budget.status is Status.BUDGET_EXHAUSTED
+        if not clique.is_empty:
+            assert clique.satisfies(2)
+            assert clique.size <= optimum.size
+
+    def test_mbc_star_node_cap_truncates_validly(self):
+        graph = random_signed_graph(12)
+        optimum = mbc_star(graph, 2)
+        budget = Budget(max_nodes=10)
+        clique = mbc_star(graph, 2, budget=budget)
+        assert budget.exhausted
+        if not clique.is_empty:
+            assert clique.satisfies(2)
+            assert clique.size <= optimum.size
+
+    def test_mbc_star_big_budget_is_exact(self):
+        # seed 12 needs real branch-and-bound work (the heuristic is
+        # not already optimal), so node accounting is observable.
+        graph = random_signed_graph(12)
+        optimum = mbc_star(graph, 2)
+        budget = Budget(deadline=3600.0, max_nodes=10**9)
+        clique = mbc_star(graph, 2, budget=budget)
+        assert not budget.exhausted
+        assert budget.status is Status.OPTIMAL
+        assert clique.size == optimum.size
+        assert budget.nodes > 0  # the cap actually accounted nodes
+
+    def test_pf_star_zero_deadline_witnesses_its_bound(self):
+        graph = random_signed_graph(14)
+        true_beta = pf_star(graph)
+        budget = Budget(deadline=0.0)
+        outcome = pf_star(graph, return_witness=True, budget=budget)
+        assert isinstance(outcome, tuple)
+        beta, witness = outcome
+        assert budget.exhausted
+        assert 0 <= beta <= true_beta
+        # The lower bound must be *certified*: a real balanced clique
+        # achieving at least beta per side.
+        if beta > 0:
+            assert witness.satisfies(beta)
+
+    def test_pf_binary_search_truncated_stays_a_lower_bound(self):
+        graph = random_signed_graph(15)
+        true_beta = pf_binary_search(graph)
+        budget = Budget(max_nodes=5)
+        beta = pf_binary_search(graph, budget=budget)
+        assert beta <= true_beta
+
+    def test_pf_enumeration_budget(self):
+        graph = random_signed_graph(16, n=12)
+        true_beta = pf_enumeration(graph)
+        budget = Budget(max_nodes=3)
+        beta = pf_enumeration(graph, budget=budget)
+        assert beta <= true_beta
+
+    def test_gmbc_star_fill_down_keeps_entries_valid(self):
+        graph = random_signed_graph(17)
+        budget = Budget(max_nodes=30)
+        results = gmbc_star(graph, budget=budget)
+        for tau, clique in enumerate(results):
+            assert not clique.is_empty
+            assert clique.satisfies(tau), \
+                f"fill-down entry for tau={tau} is not valid"
+
+    def test_gmbc_naive_truncates_to_a_valid_prefix(self):
+        graph = random_signed_graph(18)
+        full = gmbc_naive(graph)
+        budget = Budget(max_nodes=50)
+        results = gmbc_naive(graph, budget=budget)
+        assert len(results) <= len(full)
+        for tau, clique in enumerate(results):
+            assert clique.satisfies(tau)
+
+    def test_shared_budget_stops_composition(self):
+        # One budget across two solves: the second sees it exhausted
+        # immediately and returns its heuristic without new search.
+        graph = random_signed_graph(19)
+        budget = Budget(max_nodes=5)
+        mbc_star(graph, 2, budget=budget)
+        assert budget.exhausted
+        nodes_before = budget.nodes
+        mbc_star(graph, 1, budget=budget)
+        assert budget.nodes == nodes_before
+
+
+# ---------------------------------------------------------------------------
+# CLI exit contract
+
+
+@pytest.fixture
+def graph_file(tmp_path, balanced_six):
+    from repro.signed.io import save_signed_graph
+    path = tmp_path / "graph.txt"
+    save_signed_graph(balanced_six, path)
+    return str(path)
+
+
+class TestCliBudget:
+    def test_mbc_timeout_exit_code(self, capsys):
+        assert main(["mbc", "dataset:bitcoin", "--tau", "2",
+                     "--timeout", "0"]) == EXIT_BUDGET_EXHAUSTED
+        out = capsys.readouterr().out
+        assert "budget exhausted (deadline)" in out
+        assert "certified lower bound" in out
+
+    def test_mbc_max_nodes_exit_code(self, capsys):
+        assert main(["mbc", "dataset:bitcoin", "--tau", "2",
+                     "--max-nodes", "1"]) == EXIT_BUDGET_EXHAUSTED
+        assert "budget exhausted (nodes)" in capsys.readouterr().out
+
+    def test_pf_timeout_prints_inequality(self, capsys):
+        assert main(["pf", "dataset:bitcoin",
+                     "--timeout", "0"]) == EXIT_BUDGET_EXHAUSTED
+        assert "beta(G) >=" in capsys.readouterr().out
+
+    def test_gmbc_timeout_exit_code(self, capsys):
+        assert main(["gmbc", "dataset:bitcoin",
+                     "--timeout", "0"]) == EXIT_BUDGET_EXHAUSTED
+        assert "budget exhausted" in capsys.readouterr().out
+
+    def test_unbudgeted_solves_still_exit_zero(self, graph_file,
+                                               capsys):
+        assert main(["mbc", graph_file, "--tau", "3"]) == 0
+        assert "budget exhausted" not in capsys.readouterr().out
+
+    def test_generous_budget_exits_zero(self, graph_file, capsys):
+        assert main(["mbc", graph_file, "--tau", "3",
+                     "--timeout", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "|C|=6" in out
+        assert "budget exhausted" not in out
+
+    def test_baseline_rejects_budget_flags(self, graph_file, capsys):
+        rc = main(["mbc", graph_file, "--algorithm", "baseline",
+                   "--timeout", "1"])
+        assert rc == 1
+        assert "--algorithm star" in capsys.readouterr().err
+
+    def test_negative_timeout_is_an_error(self, graph_file):
+        assert main(["mbc", graph_file, "--timeout", "-1"]) == 1

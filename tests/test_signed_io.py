@@ -39,6 +39,12 @@ class TestParse:
         with pytest.raises(ValueError, match="sign"):
             list(parse_edge_lines(["0 1 2"]))
 
+    def test_rejects_self_loop_with_line_number(self):
+        # SignedGraph would reject the loop anyway, but only after id
+        # compaction has destroyed the line number the user needs.
+        with pytest.raises(ValueError, match=r"line 2.*self-loop"):
+            list(parse_edge_lines(["0 1 +1", "3 3 -1"]))
+
 
 class TestReadWrite:
     def test_read_compacts_sparse_ids(self):
@@ -80,6 +86,11 @@ class TestReadWrite:
         save_signed_graph(graph, path)
         loaded = load_signed_graph(path)
         assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_load_error_names_the_path(self, tmp_path):
+        missing = tmp_path / "nope.txt"
+        with pytest.raises(OSError, match="nope.txt"):
+            load_signed_graph(missing)
 
     @given(signed_graphs(max_vertices=12))
     @settings(max_examples=40, deadline=None)
