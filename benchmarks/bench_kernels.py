@@ -1,4 +1,4 @@
-"""Kernel microbenchmark — set vs bitset engine (perf baseline).
+"""Kernel microbenchmark — set vs bitset vs numpy engine.
 
 Two levels, matching how the engines differ in practice:
 
@@ -6,9 +6,13 @@ Two levels, matching how the engines differ in practice:
   peeling, bicore peeling, colouring bound) timed head-to-head on the
   per-vertex dichromatic networks that MBC* actually builds, so the
   masks see realistic sizes and densities;
-* **end-to-end** — ``mbc_star`` on every stand-in dataset with both
-  engines, asserting identical optimum sizes; this is the wall-clock
-  number behind the Figure 6 acceptance criterion.
+* **end-to-end** — ``mbc_star`` on every stand-in dataset with every
+  available engine, asserting identical optimum sizes; this is the
+  wall-clock number behind the Figure 6 acceptance criterion.
+
+The numpy column runs only when the optional dependency is installed
+(``pip install repro[numpy]``); without it the harness degrades to the
+historical two-way comparison and records ``null`` numpy timings.
 
 Standalone mode writes ``BENCH_kernels.json`` next to the repo root
 (``python benchmarks/bench_kernels.py``), giving the committed
@@ -29,8 +33,11 @@ from repro.core.mbc_star import mbc_star
 from repro.dichromatic.build import build_dichromatic_network_bits
 from repro.dichromatic.cores import bicore_active, \
     coloring_upper_bound_active, k_core_active
+from repro.kernels import available_engines
+from repro.kernels import npmask
 from repro.kernels.active import bicore_active_mask, \
     coloring_upper_bound_active_mask, k_core_active_mask
+from repro.kernels.npmask import HAVE_NUMPY
 
 try:
     from ._common import ALL_DATASETS, DEFAULT_TAU, bench_graph, \
@@ -46,6 +53,9 @@ MICRO_DATASET = "douban"
 #: How many of the largest ego networks to keep.
 MICRO_NETWORKS = 40
 
+#: Engines compared at both levels (numpy only when importable).
+BENCH_ENGINES = tuple(available_engines())
+
 
 def _micro_networks():
     """The largest dichromatic networks of the micro dataset."""
@@ -58,7 +68,7 @@ def _micro_networks():
 
 
 def _micro_workloads():
-    """(name, set_thunk, bitset_thunk) triples over the ego networks."""
+    """(name, {engine: thunk}) pairs over the ego networks."""
     networks = _micro_networks()
     k = DEFAULT_TAU
     prepared = []
@@ -67,58 +77,110 @@ def _micro_workloads():
         left = network.left_bits()
         active_mask = network.all_bits()
         active_set = set(network.vertices())
-        prepared.append((network, adj, left, active_mask, active_set))
+        n = network.num_vertices
+        if HAVE_NUMPY:
+            mat = npmask.matrix_from_masks(adj, n)
+            left_row = npmask.row_from_mask(left, n)
+            active_row = npmask.row_from_mask(active_mask, n)
+        else:
+            mat = left_row = active_row = None
+        prepared.append((
+            network, adj, left, active_mask, active_set,
+            mat, left_row, active_row))
 
     def run_intersection_set():
         total = 0
-        for network, _adj, _left, _mask, active in prepared:
+        for item in prepared:
+            network, active = item[0], item[4]
             for v in network.vertices():
                 total += len(network.neighbors(v) & active)
         return total
 
     def run_intersection_bitset():
         total = 0
-        for _network, adj, _left, mask, _active in prepared:
+        for item in prepared:
+            adj, mask = item[1], item[3]
             for row in adj:
                 total += (row & mask).bit_count()
         return total
 
+    def run_intersection_numpy():
+        total = 0
+        for item in prepared:
+            mat, active_row = item[5], item[7]
+            total += int(npmask.degrees_in_active(mat, active_row).sum())
+        return total
+
     def run_kcore_set():
         return [
-            len(k_core_active(network, k, active))
-            for network, _adj, _left, _mask, active in prepared]
+            len(k_core_active(item[0], k, item[4]))
+            for item in prepared]
 
     def run_kcore_bitset():
         return [
-            k_core_active_mask(adj, k, mask).bit_count()
-            for _network, adj, _left, mask, _active in prepared]
+            k_core_active_mask(item[1], k, item[3]).bit_count()
+            for item in prepared]
+
+    def run_kcore_numpy():
+        return [
+            npmask.row_count(npmask.k_core_active(item[5], k, item[7]))
+            for item in prepared]
 
     def run_bicore_set():
         return [
-            len(bicore_active(network, k, k, active))
-            for network, _adj, _left, _mask, active in prepared]
+            len(bicore_active(item[0], k, k, item[4]))
+            for item in prepared]
 
     def run_bicore_bitset():
         return [
-            bicore_active_mask(adj, left, k, k, mask).bit_count()
-            for _network, adj, left, mask, _active in prepared]
+            bicore_active_mask(item[1], item[2], k, k,
+                               item[3]).bit_count()
+            for item in prepared]
+
+    def run_bicore_numpy():
+        return [
+            npmask.row_count(
+                npmask.bicore_active(item[5], item[6], k, k, item[7]))
+            for item in prepared]
 
     def run_coloring_set():
         return [
-            coloring_upper_bound_active(network, active)
-            for network, _adj, _left, _mask, active in prepared]
+            coloring_upper_bound_active(item[0], item[4])
+            for item in prepared]
 
     def run_coloring_bitset():
         return [
-            coloring_upper_bound_active_mask(adj, mask)
-            for _network, adj, _left, mask, _active in prepared]
+            coloring_upper_bound_active_mask(item[1], item[3])
+            for item in prepared]
 
-    return [
-        ("intersection", run_intersection_set, run_intersection_bitset),
-        ("k_core", run_kcore_set, run_kcore_bitset),
-        ("bicore", run_bicore_set, run_bicore_bitset),
-        ("coloring_ub", run_coloring_set, run_coloring_bitset),
+    def run_coloring_numpy():
+        return [
+            npmask.coloring_upper_bound_active(item[5], item[7])
+            for item in prepared]
+
+    workloads = [
+        ("intersection", {
+            "set": run_intersection_set,
+            "bitset": run_intersection_bitset,
+            "numpy": run_intersection_numpy}),
+        ("k_core", {
+            "set": run_kcore_set,
+            "bitset": run_kcore_bitset,
+            "numpy": run_kcore_numpy}),
+        ("bicore", {
+            "set": run_bicore_set,
+            "bitset": run_bicore_bitset,
+            "numpy": run_bicore_numpy}),
+        ("coloring_ub", {
+            "set": run_coloring_set,
+            "bitset": run_coloring_bitset,
+            "numpy": run_coloring_numpy}),
     ]
+    if not HAVE_NUMPY:
+        workloads = [
+            (name, {e: fn for e, fn in fns.items() if e != "numpy"})
+            for name, fns in workloads]
+    return workloads
 
 
 def _time_best_of(fn, repeats: int = 3) -> float:
@@ -131,62 +193,97 @@ def _time_best_of(fn, repeats: int = 3) -> float:
 
 
 def collect_micro() -> list[dict]:
-    """Per-kernel set vs bitset timings (best of three)."""
+    """Per-kernel engine timings (best of three).
+
+    Every engine of the same kernel must agree on its check value —
+    the total intersection count or the surviving core/bound numbers —
+    so a timing row can never come from a wrong answer.
+    """
     rows = []
-    for name, set_fn, bitset_fn in _micro_workloads():
-        set_seconds = _time_best_of(set_fn)
-        bitset_seconds = _time_best_of(bitset_fn)
-        rows.append({
-            "kernel": name,
-            "set_seconds": round(set_seconds, 6),
-            "bitset_seconds": round(bitset_seconds, 6),
-            "speedup": round(set_seconds / bitset_seconds, 2),
-        })
+    for name, engine_fns in _micro_workloads():
+        results = {e: fn() for e, fn in engine_fns.items()}
+        reference = results["set"]
+        for engine, value in results.items():
+            assert value == reference, (
+                f"{name}: engine {engine} disagrees with set")
+        row: dict = {"kernel": name}
+        seconds = {
+            e: _time_best_of(fn) for e, fn in engine_fns.items()}
+        set_seconds = seconds["set"]
+        for engine in BENCH_ENGINES:
+            row[f"{engine}_seconds"] = (
+                round(seconds[engine], 6)
+                if engine in seconds else None)
+        row["bitset_speedup"] = round(
+            set_seconds / seconds["bitset"], 2)
+        if "numpy" in seconds:
+            row["numpy_speedup"] = round(
+                set_seconds / seconds["numpy"], 2)
+            row["numpy_vs_bitset"] = round(
+                seconds["bitset"] / seconds["numpy"], 2)
+        else:
+            row["numpy_speedup"] = None
+            row["numpy_vs_bitset"] = None
+        rows.append(row)
     return rows
 
 
 def collect_end_to_end() -> dict:
-    """``mbc_star`` wall-clock per dataset, both engines."""
+    """``mbc_star`` wall-clock per dataset, every available engine."""
     datasets = []
-    total_set = 0.0
-    total_bitset = 0.0
+    totals = {engine: 0.0 for engine in BENCH_ENGINES}
     for name in ALL_DATASETS:
         graph = bench_graph(name)
-        set_clique, set_seconds = timed(
-            lambda: mbc_star(graph, DEFAULT_TAU, engine="set"))
-        bitset_clique, bitset_seconds = timed(
-            lambda: mbc_star(graph, DEFAULT_TAU, engine="bitset"))
-        assert set_clique.size == bitset_clique.size, (
-            f"engines disagree on {name}: "
-            f"{set_clique.size} != {bitset_clique.size}")
-        total_set += set_seconds
-        total_bitset += bitset_seconds
-        datasets.append({
-            "dataset": name,
-            "size": set_clique.size,
-            "set_seconds": round(set_seconds, 4),
-            "bitset_seconds": round(bitset_seconds, 4),
-            "speedup": round(set_seconds / bitset_seconds, 2),
-        })
-    return {
+        row: dict = {"dataset": name}
+        sizes = {}
+        for engine in BENCH_ENGINES:
+            clique, seconds = timed(
+                lambda e=engine: mbc_star(graph, DEFAULT_TAU, engine=e))
+            sizes[engine] = clique.size
+            totals[engine] += seconds
+            row[f"{engine}_seconds"] = round(seconds, 4)
+        assert len(set(sizes.values())) == 1, (
+            f"engines disagree on {name}: {sizes}")
+        row["size"] = sizes["set"]
+        row["bitset_speedup"] = round(
+            row["set_seconds"] / row["bitset_seconds"], 2)
+        if "numpy" in sizes:
+            row["numpy_speedup"] = round(
+                row["set_seconds"] / row["numpy_seconds"], 2)
+        else:
+            row["numpy_speedup"] = None
+        datasets.append(row)
+    payload: dict = {
         "tau": DEFAULT_TAU,
+        "engines": list(BENCH_ENGINES),
         "datasets": datasets,
-        "total_set_seconds": round(total_set, 4),
-        "total_bitset_seconds": round(total_bitset, 4),
-        "total_speedup": round(total_set / total_bitset, 2),
     }
+    for engine in BENCH_ENGINES:
+        payload[f"total_{engine}_seconds"] = round(totals[engine], 4)
+    payload["total_bitset_speedup"] = round(
+        totals["set"] / totals["bitset"], 2)
+    payload["total_numpy_speedup"] = (
+        round(totals["set"] / totals["numpy"], 2)
+        if "numpy" in totals else None)
+    return payload
+
+
+def _engine_params():
+    params = [pytest.param("set"), pytest.param("bitset")]
+    params.append(pytest.param("numpy", marks=pytest.mark.skipif(
+        not HAVE_NUMPY, reason="numpy not installed")))
+    return params
 
 
 @pytest.mark.parametrize(
     "kernel", ["intersection", "k_core", "bicore", "coloring_ub"])
-@pytest.mark.parametrize("engine", ["set", "bitset"])
+@pytest.mark.parametrize("engine", _engine_params())
 def test_kernel_micro(benchmark, kernel, engine):
-    workloads = {name: (s, b) for name, s, b in _micro_workloads()}
-    set_fn, bitset_fn = workloads[kernel]
-    run_once(benchmark, set_fn if engine == "set" else bitset_fn)
+    workloads = dict(_micro_workloads())
+    run_once(benchmark, workloads[kernel][engine])
 
 
-@pytest.mark.parametrize("engine", ["set", "bitset"])
+@pytest.mark.parametrize("engine", _engine_params())
 def test_mbc_star_end_to_end(benchmark, engine):
     graph = bench_graph(MICRO_DATASET)
     clique = run_once(
@@ -194,29 +291,47 @@ def test_mbc_star_end_to_end(benchmark, engine):
     assert clique.is_empty or clique.satisfies(DEFAULT_TAU)
 
 
+def _seconds_cell(row: dict, engine: str) -> str:
+    value = row.get(f"{engine}_seconds")
+    return format_seconds(value) if value is not None else "-"
+
+
+def _speedup_cell(row: dict, key: str) -> str:
+    value = row.get(key)
+    return f"{value:.1f}x" if value is not None else "-"
+
+
 def main() -> None:
     micro = collect_micro()
     end_to_end = collect_end_to_end()
+    engine_cols = list(BENCH_ENGINES)
     print_table(
         f"Kernel microbench — {MICRO_NETWORKS} largest ego networks "
         f"of {MICRO_DATASET}",
-        ["kernel", "set", "bitset", "speedup"],
+        ["kernel", *engine_cols, "bitset", "numpy", "np/bits"],
         [[row["kernel"],
-          format_seconds(row["set_seconds"]),
-          format_seconds(row["bitset_seconds"]),
-          f"{row['speedup']:.1f}x"] for row in micro])
+          *[_seconds_cell(row, e) for e in engine_cols],
+          _speedup_cell(row, "bitset_speedup"),
+          _speedup_cell(row, "numpy_speedup"),
+          _speedup_cell(row, "numpy_vs_bitset")] for row in micro])
     print_table(
-        f"MBC* end-to-end (tau={DEFAULT_TAU}), set vs bitset engine",
-        ["dataset", "set", "bitset", "speedup", "size"],
+        f"MBC* end-to-end (tau={DEFAULT_TAU}), "
+        f"engines: {', '.join(engine_cols)}",
+        ["dataset", *engine_cols, "bitset", "numpy", "size"],
         [[row["dataset"],
-          format_seconds(row["set_seconds"]),
-          format_seconds(row["bitset_seconds"]),
-          f"{row['speedup']:.1f}x",
+          *[_seconds_cell(row, e) for e in engine_cols],
+          _speedup_cell(row, "bitset_speedup"),
+          _speedup_cell(row, "numpy_speedup"),
           row["size"]] for row in end_to_end["datasets"]])
+    totals = " ".join(
+        f"{engine}={format_seconds(end_to_end[f'total_{engine}_seconds'])}"
+        for engine in engine_cols)
+    numpy_total = end_to_end["total_numpy_speedup"]
     print(
-        f"\nTOTAL set={format_seconds(end_to_end['total_set_seconds'])} "
-        f"bitset={format_seconds(end_to_end['total_bitset_seconds'])} "
-        f"speedup={end_to_end['total_speedup']:.2f}x")
+        f"\nTOTAL {totals} "
+        f"bitset_speedup={end_to_end['total_bitset_speedup']:.2f}x"
+        + (f" numpy_speedup={numpy_total:.2f}x"
+           if numpy_total is not None else ""))
     if "--no-json" not in sys.argv:
         payload = {
             "micro_dataset": MICRO_DATASET,

@@ -16,6 +16,7 @@ from .r006_layering import ImportLayeringRule
 from .r007_annotations import AnnotationCompletenessRule
 from .r008_tracer_discipline import TracerDisciplineRule
 from .r009_pool_discipline import PoolDisciplineRule
+from .r010_vectorization import VectorizationDisciplineRule
 
 __all__ = [
     "ALL_RULES",
@@ -29,6 +30,7 @@ __all__ = [
     "AnnotationCompletenessRule",
     "TracerDisciplineRule",
     "PoolDisciplineRule",
+    "VectorizationDisciplineRule",
 ]
 
 ALL_RULES = (
@@ -41,6 +43,7 @@ ALL_RULES = (
     AnnotationCompletenessRule(),
     TracerDisciplineRule(),
     PoolDisciplineRule(),
+    VectorizationDisciplineRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

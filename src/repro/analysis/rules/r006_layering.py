@@ -5,7 +5,9 @@ silently invert it)::
 
       obs                        (tracing/metrics; imports nothing)
        ^
-    kernels                      (pure int-mask primitives)
+    kernels                      (pure mask primitives: bitset ints
+                                  + the optional numpy matrices of
+                                  ``repro.kernels.npmask``)
       ^        ^
     signed   unsigned            (graph substrates)
       ^        ^

@@ -1,0 +1,147 @@
+"""R010 — vectorisation discipline in the numpy kernel backend.
+
+The numpy engine (:mod:`repro.kernels.npmask`) earns its keep by
+keeping whole-frontier work inside compiled ufuncs: one
+``popcount(mat & active)`` call replaces ``n`` Python-level mask
+intersections.  A Python ``for`` loop over the rows of a mask matrix
+(or an element walk via ``.flat`` / ``np.nditer``) silently degrades
+the backend to per-row interpreter dispatch — the result stays
+correct, so the differential tests cannot catch it, but the engine
+drops back to bitset speed or worse.
+
+Scope: only ``repro.kernels.npmask`` itself.  Solver modules never
+hold raw matrices (they go through npmask helpers), and the other
+backends are free to loop.
+
+Flagged, per function scope:
+
+* ``for`` statements and comprehensions whose iterable is a name
+  annotated ``Matrix`` (a row-per-vertex mask matrix) — iterate in
+  the kernel, not the interpreter;
+* iteration over ``<anything>.flat`` — an element-by-element walk of
+  an array;
+* ``np.nditer(...)`` / ``nditer(...)`` calls anywhere — the explicit
+  element-iteration API has no vectorised reading.
+
+Scalar-bounded loops stay legal: iterating a *Python list* of masks
+(``matrix_from_masks``), a ``.tolist()`` materialisation of an index
+vector (greedy colouring must be sequential), or a ``while`` over
+peeling iterations are all fine — the per-iteration work is still
+vectorised.  A deliberate row walk (none exist today) would carry
+``# repro: noqa R010`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Rule
+from ..findings import Finding
+from .common import annotation_name
+
+__all__ = ["VectorizationDisciplineRule"]
+
+#: The module this rule polices.
+NPMASK_MODULE = "repro.kernels.npmask"
+
+#: Annotations that mark a name as a row-per-vertex mask matrix.
+MATRIX_ANNOTATIONS = frozenset({"Matrix"})
+
+
+def _matrix_names(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                  ) -> set[str]:
+    """Names bound to mask matrices inside ``func``.
+
+    Parameters and annotated assignments whose annotation's terminal
+    identifier is ``Matrix`` — the module's own aliasing convention,
+    enforced alongside R007's completeness gate.
+    """
+    args = func.args
+    names = {
+        arg.arg
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs)
+        if annotation_name(arg.annotation) in MATRIX_ANNOTATIONS
+    }
+    for node in ast.walk(func):
+        if isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and \
+                annotation_name(node.annotation) in MATRIX_ANNOTATIONS:
+            names.add(node.target.id)
+    return names
+
+
+def _is_flat_walk(iterable: ast.expr) -> bool:
+    """Whether an iterable is an element walk via ``.flat``."""
+    return isinstance(iterable, ast.Attribute) and \
+        iterable.attr == "flat"
+
+
+def _is_nditer_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Name):
+        return node.func.id == "nditer"
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr == "nditer"
+    return False
+
+
+class VectorizationDisciplineRule(Rule):
+    rule_id = "R010"
+    title = "no Python-level row loops in the numpy kernel backend"
+    rationale = (
+        "the numpy engine's speedup comes from whole-frontier ufunc "
+        "calls; a Python for loop over matrix rows (or .flat/nditer "
+        "element walks) keeps results correct but re-introduces the "
+        "per-row interpreter dispatch the backend exists to avoid")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.module == NPMASK_MODULE
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            matrices = _matrix_names(func)
+            yield from self._check_function(module, func, matrices)
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        matrices: set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.For):
+                yield from self._check_iterable(
+                    module, node, node.iter, matrices)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    yield from self._check_iterable(
+                        module, node, generator.iter, matrices)
+            elif isinstance(node, ast.Call) and _is_nditer_call(node):
+                yield self.finding(
+                    module, node,
+                    "np.nditer() walks array elements through the "
+                    "interpreter — express the kernel as whole-array "
+                    "ufunc calls instead")
+
+    def _check_iterable(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        iterable: ast.expr,
+        matrices: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(iterable, ast.Name) and iterable.id in matrices:
+            yield self.finding(
+                module, node,
+                f"Python-level loop over the rows of matrix "
+                f"{iterable.id!r} — use a vectorised kernel "
+                f"(e.g. popcount(mat & active).sum(axis=1)) instead")
+        elif _is_flat_walk(iterable):
+            yield self.finding(
+                module, node,
+                "iteration over .flat walks array elements through "
+                "the interpreter — use whole-array operations instead")

@@ -59,12 +59,14 @@ EXIT_BUDGET_EXHAUSTED = 3
 def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
-        help="adjacency engine: bitset kernels (default) or the "
+        help="kernel backend from the engine registry: bitset int "
+             "masks (default), numpy vectorised mask matrices, or the "
              "original adjacency sets")
     subparser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the ego-network sweep (default 1 = "
-             "serial; needs the bitset engine)")
+             "serial; needs a parallel-capable engine: bitset or "
+             "numpy)")
     subparser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a repro.obs JSONL trace of the solve to PATH")

@@ -14,8 +14,8 @@ Runs in ``O(m)``; the result (when it meets the polarization constraint
 from __future__ import annotations
 
 from ..dichromatic.build import build_dichromatic_network, \
-    build_dichromatic_network_bits
-from ..kernels import validate_engine
+    build_dichromatic_network_bits, build_dichromatic_network_matrix
+from ..kernels import npmask, validate_engine
 from ..signed.graph import SignedGraph
 from .result import EMPTY_RESULT, BalancedClique
 
@@ -47,14 +47,21 @@ def mbc_heuristic(
         anchor; trying a handful costs ``O(tries * m)`` and makes the
         initial bound far more robust).
     engine:
-        ``"bitset"`` (default) grows the clique over mask adjacency;
-        ``"set"`` is the original implementation.  Tie-breaking while
-        picking the max-degree vertex may differ between the two, so
-        the greedy results can legitimately diverge — both are valid
-        lower bounds for the exact search they seed.
+        ``"bitset"`` (default) grows the clique over mask adjacency,
+        ``"numpy"`` over the uint64 mask-matrix kernels (same lowest-id
+        tie-break as bitset); ``"set"`` is the original implementation.
+        Tie-breaking while picking the max-degree vertex may differ
+        between engines, so the greedy results can legitimately
+        diverge — all are valid lower bounds for the exact search they
+        seed.
     """
     validate_engine(engine)
-    grow = _grow_from_bits if engine == "bitset" else _grow_from
+    if engine == "bitset":
+        grow = _grow_from_bits
+    elif engine == "numpy":
+        grow = _grow_from_np
+    else:
+        grow = _grow_from
     if graph.num_vertices == 0:
         return EMPTY_RESULT
     if anchor is not None:
@@ -106,6 +113,48 @@ def _grow_from_bits(
         else:
             right.add(origin[v])
         active &= adj[v]
+
+    clique = BalancedClique.from_sides(left, right)
+    if clique.satisfies(tau):
+        return clique
+    return EMPTY_RESULT
+
+
+def _grow_from_np(
+    graph: SignedGraph, anchor: int, tau: int
+) -> BalancedClique:
+    """Numpy fast path of :func:`_grow_from`.
+
+    The per-step max-degree scan is one vectorised degree pass plus a
+    masked argmax (first occurrence = lowest id, matching the bitset
+    engine's tie-break).
+    """
+    network = build_dichromatic_network_matrix(graph, anchor)
+    mat = network.adjacency_matrix()
+    left_row = network.left_row()
+    n = network.num_vertices
+    active = network.all_row()
+    origin = network.origin
+    left: set[int] = {anchor}
+    right: set[int] = set()
+
+    while True:
+        left_alive = npmask.row_bool(active & left_row, n)
+        right_alive = npmask.row_bool(active & ~left_row, n)
+        has_left = bool(left_alive.any())
+        has_right = bool(right_alive.any())
+        if not has_left and not has_right:
+            break
+        take_right = not has_left or (has_right and
+                                      len(left) >= len(right))
+        alive = right_alive if take_right else left_alive
+        degree = npmask.degrees_in_active(mat, active)
+        v = npmask.argmax_active(degree, alive)
+        if npmask.test_bit(left_row, v):
+            left.add(origin[v])
+        else:
+            right.add(origin[v])
+        active = active & mat[v]
 
     clique = BalancedClique.from_sides(left, right)
     if clique.satisfies(tau):

@@ -21,11 +21,12 @@ lets gMBC* seed the search with ``(2 tau - 1)``-cores.
 from __future__ import annotations
 
 from ..dichromatic.build import build_dichromatic_network, \
-    build_dichromatic_network_bits, ego_network_edge_count, \
+    build_dichromatic_network_bits, build_dichromatic_network_matrix, \
+    ego_edge_count_from_matrix, ego_network_edge_count, \
     ego_network_edge_count_bits
 from ..dichromatic.cores import k_core_active
 from ..dichromatic.mdc import solve_mdc
-from ..kernels import validate_engine
+from ..kernels import engine_spec, npmask, validate_engine
 from ..kernels.active import (
     active_edge_count_mask,
     coloring_upper_bound_active_mask,
@@ -96,16 +97,19 @@ def mbc_star(
     engine:
         ``"bitset"`` (default) runs the per-instance kernels and the
         MDC search on int-mask adjacency (see :mod:`repro.kernels`);
-        ``"set"`` is the original adjacency-set path, retained for
-        differential testing and the ablation benchmarks.
+        ``"numpy"`` runs them on vectorised uint64 mask matrices
+        (:mod:`repro.kernels.npmask`); ``"set"`` is the original
+        adjacency-set path, retained for differential testing and the
+        ablation benchmarks.
     parallel:
         Number of worker processes for the ego-network sweep.  ``0`` or
         ``1`` run the serial sweep; larger values fan the per-vertex
         MDC instances out across a process pool with a shared incumbent
-        (:mod:`repro.parallel`).  Requires the bitset engine; the
-        optimum size is identical to the serial sweep's.  ``check_only``
-        runs always stay serial (the first witness ends the search, so
-        there is nothing to fan out).
+        (:mod:`repro.parallel`).  Requires an engine whose registry
+        descriptor reports parallel support (bitset and numpy; the set
+        engine is serial-only); the optimum size is identical to the
+        serial sweep's.  ``check_only`` runs always stay serial (the
+        first witness ends the search, so there is nothing to fan out).
     trace:
         Optional :class:`repro.obs.Tracer`; defaults to the ambient
         tracer.  A traced run closes one ``mbc_star`` root span with
@@ -134,8 +138,10 @@ def mbc_star(
         raise ValueError(f"unknown ordering {ordering!r}")
     validate_engine(engine)
     workers = resolve_workers(parallel)
-    if workers > 1 and engine != "bitset":
-        raise ValueError("parallel execution requires the bitset engine")
+    if workers > 1 and not engine_spec(engine).supports_parallel:
+        raise ValueError(
+            f"parallel execution requires an engine with parallel "
+            f"support; engine {engine!r} is serial-only")
     best = initial if initial is not None else EMPTY_RESULT
     if not best.is_empty and not best.satisfies(tau):
         raise ValueError("initial clique violates the tau constraint")
@@ -218,6 +224,7 @@ def _pipeline(
     # room for tau vertices per side.
     required = max(best.size + 1, 2 * tau)
     with tracer.span("core_reduction", required=required) as phase:
+        core_alive: set[int] | None = None
         if engine == "bitset":
             unsigned = UnsignedGraph.from_signed_bits(working)
             core_mask = k_core_active_mask(
@@ -226,7 +233,18 @@ def _pipeline(
             phase.set(kept=core_mask.bit_count())
             if not core_mask:
                 return best
-            core_alive: set[int] | None = None
+        elif engine == "numpy":
+            # Label-blind adjacency straight from the signed matrices;
+            # no UnsignedGraph object is needed on this path.
+            unsigned_mat = (working.pos_adjacency_matrix()
+                            | working.neg_adjacency_matrix())
+            core_row = npmask.k_core_active(
+                unsigned_mat, required - 1,
+                npmask.full_row(working.num_vertices))
+            core_kept = npmask.row_count(core_row)
+            phase.set(kept=core_kept)
+            if core_kept == 0:
+                return best
         else:
             unsigned = UnsignedGraph.from_signed(working)
             core_alive = k_core_subset(
@@ -246,14 +264,28 @@ def _pipeline(
                 # |C*|-core, and the sweep only ever ranks core vertices.
                 order = degeneracy_ordering_mask(
                     unsigned.adjacency_bits(), core_mask)
+            elif engine == "numpy":
+                order = npmask.degeneracy_ordering(
+                    unsigned_mat, core_row)
             else:
                 full_order = degeneracy_ordering(unsigned)
                 order = [v for v in full_order if v in core_alive]
         else:
             if core_alive is None:
-                core_alive = set(iter_bits(core_mask))
+                if engine == "bitset":
+                    core_alive = set(iter_bits(core_mask))
+                else:
+                    core_alive = set(npmask.row_indices(
+                        core_row, working.num_vertices).tolist())
             if ordering == "degree":
-                order = sorted(core_alive, key=unsigned.degree)
+                if engine == "numpy":
+                    degrees = npmask.degrees_in_active(
+                        unsigned_mat,
+                        npmask.full_row(working.num_vertices))
+                    order = sorted(
+                        core_alive, key=lambda v: int(degrees[v]))
+                else:
+                    order = sorted(core_alive, key=unsigned.degree)
             else:
                 order = sorted(core_alive)
         phase.set(n=len(order))
@@ -264,11 +296,12 @@ def _pipeline(
     # to a process pool instead (identical optimum size guaranteed; see
     # repro.parallel).  check_only stays serial: its contract is "stop
     # at the first witness", which a fan-out cannot honour cheaply.
-    if workers > 1 and engine == "bitset" and not check_only:
+    if workers > 1 and engine_spec(engine).supports_parallel \
+            and not check_only:
         return mbc_ego_fanout(
             working, mapping, tau, best, order, workers,
             use_core=use_core, use_coloring=use_coloring, stats=stats,
-            trace=tracer, budget=budget)
+            engine=engine, trace=tracer, budget=budget)
 
     # Line 5: process vertices in reverse degeneracy order.  The bitset
     # engine carries the "higher-ranked" filter as a mask accumulated
@@ -276,6 +309,8 @@ def _pipeline(
     # the current one).
     with tracer.span("sweep", n=len(order)):
         allowed_mask = 0
+        allowed_row = npmask.row_from_mask(
+            0, working.num_vertices) if engine == "numpy" else None
         for u in reversed(order):
             # Anytime contract: a budgeted sweep stops between (or,
             # via the per-node spend inside solve_mdc, within) ego
@@ -289,6 +324,9 @@ def _pipeline(
                 required = max(best.size + 1, 2 * tau)
                 this_allowed_mask = allowed_mask
                 allowed_mask |= 1 << u
+                if allowed_row is not None:
+                    this_allowed_row = allowed_row.copy()
+                    npmask.set_bit(allowed_row, u)
                 if stats is not None:
                     stats.vertices_examined += 1
                 # Line 7: |C*|-core of g_u (k shifted by one: u is
@@ -337,6 +375,53 @@ def _pipeline(
                             use_core=use_core,
                             engine=engine,
                             active_mask=active_mask,
+                            trace=tracer,
+                            budget=budget)
+                    except BudgetExceeded:
+                        break
+                elif engine == "numpy":
+                    network = build_dichromatic_network_matrix(
+                        working, u, this_allowed_row)
+                    if network.num_vertices + 1 < required:
+                        ego.set(pruned="size")
+                        continue
+                    adj_mat = network.adjacency_matrix()
+                    active_row = network.all_row()
+                    if use_core:
+                        active_row = npmask.k_core_active(
+                            adj_mat, required - 2, active_row)
+                    reduced_count = npmask.row_count(active_row)
+                    if reduced_count + 1 < required:
+                        ego.set(pruned="core")
+                        continue
+                    if use_coloring:
+                        bound = npmask.coloring_upper_bound_active(
+                            adj_mat, active_row)
+                        if bound < required - 1:
+                            ego.set(pruned="color")
+                            continue
+                    ego.set(n=network.num_vertices,
+                            reduced=reduced_count)
+                    if stats is not None:
+                        stats.instances += 1
+                        ego_edges = ego_edge_count_from_matrix(
+                            working.pos_adjacency_matrix(),
+                            working.neg_adjacency_matrix(),
+                            u, this_allowed_row)
+                        reduced_edges = npmask.active_edge_count(
+                            adj_mat, active_row)
+                        stats.record_reduction(
+                            ego_edges, network.num_edges, reduced_edges)
+                    try:
+                        found = solve_mdc(
+                            network, tau - 1, tau,
+                            must_exceed=required - 2,
+                            stats=stats,
+                            check_only=check_only,
+                            use_coloring=use_coloring,
+                            use_core=use_core,
+                            engine=engine,
+                            active_row=active_row,
                             trace=tracer,
                             budget=budget)
                     except BudgetExceeded:

@@ -20,11 +20,12 @@ paper's experimental line-up:
 from __future__ import annotations
 
 from ..dichromatic.build import build_dichromatic_network, \
-    build_dichromatic_network_bits, ego_network_edge_count, \
+    build_dichromatic_network_bits, build_dichromatic_network_matrix, \
+    ego_edge_count_from_matrix, ego_network_edge_count, \
     ego_network_edge_count_bits
 from ..dichromatic.cores import bicore_active
 from ..dichromatic.dcc import dichromatic_clique_witness
-from ..kernels import validate_engine
+from ..kernels import engine_spec, npmask, validate_engine
 from ..kernels.active import active_edge_count_mask, bicore_active_mask, \
     degeneracy_ordering_mask
 from ..obs import Tracer, current_tracer
@@ -201,15 +202,17 @@ def pf_star(
         Also return a balanced clique achieving the factor.
     engine:
         ``"bitset"`` (default) runs the per-vertex bicore reduction and
-        DCC check on int-mask adjacency; ``"set"`` is the original
-        adjacency-set path.
+        DCC check on int-mask adjacency, ``"numpy"`` on vectorised
+        uint64 mask matrices; ``"set"`` is the original adjacency-set
+        path.
     parallel:
         Number of worker processes.  ``0``/``1`` run the serial sweep;
         larger values run the round-based fan-out of
         :func:`repro.parallel.engine.pf_round_fanout`, which asks the
         +1 questions of all still-viable vertices concurrently and
         iterates until the bar stops rising — the fixpoint is exactly
-        ``beta(G)``.  Requires the bitset engine.
+        ``beta(G)``.  Requires an engine with parallel support (bitset
+        or numpy).
     budget:
         Optional :class:`repro.resilience.Budget` (anytime contract):
         the heuristic always runs, then the budget is checked per ego
@@ -230,8 +233,10 @@ def pf_star(
         raise ValueError(f"unknown ordering {ordering!r}")
     validate_engine(engine)
     workers = resolve_workers(parallel)
-    if workers > 1 and engine != "bitset":
-        raise ValueError("parallel execution requires the bitset engine")
+    if workers > 1 and not engine_spec(engine).supports_parallel:
+        raise ValueError(
+            f"parallel execution requires an engine with parallel "
+            f"support; engine {engine!r} is serial-only")
 
     tracer = trace if trace is not None else current_tracer()
     root = tracer.span(
@@ -292,6 +297,12 @@ def _pf_pipeline(
             order = degeneracy_ordering_mask(
                 unsigned.adjacency_bits(), unsigned.all_bits())
             pn = None
+        elif engine == "numpy":
+            unsigned_mat = (working.pos_adjacency_matrix()
+                            | working.neg_adjacency_matrix())
+            order = npmask.degeneracy_ordering(
+                unsigned_mat, npmask.full_row(working.num_vertices))
+            pn = None
         else:
             order = degeneracy_ordering(
                 UnsignedGraph.from_signed(working))
@@ -301,16 +312,18 @@ def _pf_pipeline(
 
     # Parallel fan-out: rounds of concurrent +1 questions instead of
     # the serial sweep (identical beta(G); see repro.parallel).
-    if workers > 1 and engine == "bitset":
+    if workers > 1 and engine_spec(engine).supports_parallel:
         return pf_round_fanout(
             working, mapping, order, pn, tau_star, witness, workers,
-            stats=stats, trace=tracer, budget=budget)
+            stats=stats, engine=engine, trace=tracer, budget=budget)
 
     # Lines 4-8: reverse-order sweep with DCC checks.  As in MBC*, the
     # bitset engine accumulates the higher-ranked filter as a mask of
     # already-processed vertices.
     with tracer.span("sweep", n=len(order)):
         allowed_mask = 0
+        allowed_row = npmask.row_from_mask(
+            0, working.num_vertices) if engine == "numpy" else None
         for u in reversed(order):
             if pn is not None and pn[u] <= tau_star:
                 # Lemma 5: pn(u) >= gamma(g_u); nothing later helps.
@@ -325,11 +338,17 @@ def _pf_pipeline(
             with tracer.span("ego", v=mapping[u], bar=tau_star) as ego:
                 this_allowed_mask = allowed_mask
                 allowed_mask |= 1 << u
+                if allowed_row is not None:
+                    this_allowed_row = allowed_row.copy()
+                    npmask.set_bit(allowed_row, u)
                 if stats is not None:
                     stats.vertices_examined += 1
                 if engine == "bitset":
                     network = build_dichromatic_network_bits(
                         working, u, this_allowed_mask)
+                elif engine == "numpy":
+                    network = build_dichromatic_network_matrix(
+                        working, u, this_allowed_row)
                 else:
                     allowed = HigherRanked(rank, rank[u])
                     network = build_dichromatic_network(
@@ -345,6 +364,16 @@ def _pf_pipeline(
                         network.all_bits())
                     left_count = (active_mask & left_bits).bit_count()
                     right_count = active_mask.bit_count() - left_count
+                elif engine == "numpy":
+                    adj_mat = network.adjacency_matrix()
+                    left_row = network.left_row()
+                    active_row = npmask.bicore_active(
+                        adj_mat, left_row, tau_star, tau_star + 1,
+                        network.all_row())
+                    left_count = npmask.row_count(
+                        active_row & left_row)
+                    right_count = npmask.row_count(
+                        active_row) - left_count
                 else:
                     active = bicore_active(
                         network, tau_star, tau_star + 1,
@@ -364,6 +393,13 @@ def _pf_pipeline(
                             working, u, this_allowed_mask)
                         reduced = active_edge_count_mask(
                             adj_bits, active_mask)
+                    elif engine == "numpy":
+                        ego_edges = ego_edge_count_from_matrix(
+                            working.pos_adjacency_matrix(),
+                            working.neg_adjacency_matrix(),
+                            u, this_allowed_row)
+                        reduced = npmask.active_edge_count(
+                            adj_mat, active_row)
                     else:
                         ego_edges = ego_network_edge_count(
                             working, u, allowed)
@@ -380,6 +416,12 @@ def _pf_pipeline(
                             network, tau_star, tau_star + 1,
                             stats=stats, engine=engine,
                             active_mask=active_mask, trace=tracer,
+                            budget=budget)
+                    elif engine == "numpy":
+                        found = dichromatic_clique_witness(
+                            network, tau_star, tau_star + 1,
+                            stats=stats, engine=engine,
+                            active_row=active_row, trace=tracer,
                             budget=budget)
                     else:
                         found = dichromatic_clique_witness(

@@ -7,18 +7,19 @@ moment both quotas reach zero — and it prunes with the
 ``(tau_L, tau_R)``-core rather than colouring bounds, exactly as in the
 pseudocode.
 
-Like MDC, the check runs on one of two engines: ``"bitset"`` (default)
-carries the candidate set as an int mask over the kernels of
-:mod:`repro.kernels.active` with incrementally maintained degrees, and
-``"set"`` is the original adjacency-set implementation retained for
-differential testing.
+Like MDC, the check runs on one of three engines: ``"bitset"``
+(default) carries the candidate set as an int mask over the kernels of
+:mod:`repro.kernels.active` with incrementally maintained degrees,
+``"numpy"`` carries it as a uint64 mask row over the vectorised
+kernels of :mod:`repro.kernels.npmask`, and ``"set"`` is the original
+adjacency-set implementation retained for differential testing.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..kernels import validate_engine
+from ..kernels import npmask, validate_engine
 from ..kernels.active import bicore_active_mask
 from ..kernels.bitset import mask_of
 from ..obs import Span, Tracer, current_tracer
@@ -28,6 +29,7 @@ from .graph import DichromaticGraph
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.stats import SearchStats
+    from ..kernels.npmask import Matrix, Row
 
 __all__ = ["dichromatic_clique_check", "dichromatic_clique_witness"]
 
@@ -40,6 +42,7 @@ def dichromatic_clique_check(
     active: set[int] | None = None,
     engine: str = "bitset",
     active_mask: int | None = None,
+    active_row: "Row | None" = None,
     trace: Tracer | None = None,
     budget: "Budget | None" = None,
 ) -> bool:
@@ -47,14 +50,15 @@ def dichromatic_clique_check(
 
     ``active`` optionally restricts the search to a vertex subset
     (callers pass an already-core-reduced set); the bitset engine also
-    accepts it pre-packed as ``active_mask``.  ``trace`` defaults to
-    the ambient tracer; each check closes one ``dcc`` span.  A
-    ``budget`` is charged one node per branch-and-bound node.
+    accepts it pre-packed as ``active_mask``, the numpy engine as an
+    ``active_row``.  ``trace`` defaults to the ambient tracer; each
+    check closes one ``dcc`` span.  A ``budget`` is charged one node
+    per branch-and-bound node.
     """
     return dichromatic_clique_witness(
         graph, tau_l, tau_r, stats=stats, active=active,
-        engine=engine, active_mask=active_mask, trace=trace,
-        budget=budget) is not None
+        engine=engine, active_mask=active_mask, active_row=active_row,
+        trace=trace, budget=budget) is not None
 
 
 def dichromatic_clique_witness(
@@ -65,6 +69,7 @@ def dichromatic_clique_witness(
     active: set[int] | None = None,
     engine: str = "bitset",
     active_mask: int | None = None,
+    active_row: "Row | None" = None,
     trace: Tracer | None = None,
     budget: "Budget | None" = None,
 ) -> set[int] | None:
@@ -77,8 +82,8 @@ def dichromatic_clique_witness(
         engine=engine)
     with span:
         found = _witness(graph, tau_l, tau_r, stats, active, engine,
-                         active_mask, span if tracer.enabled else None,
-                         budget)
+                         active_mask, active_row,
+                         span if tracer.enabled else None, budget)
         if tracer.enabled:
             span.set(found=found is not None)
     return found
@@ -92,6 +97,7 @@ def _witness(
     active: set[int] | None,
     engine: str,
     active_mask: int | None,
+    active_row: "Row | None",
     span: Span | None,
     budget: "Budget | None",
 ) -> set[int] | None:
@@ -104,6 +110,22 @@ def _witness(
             active = set(active)
         if _check(graph, active, tau_l, tau_r, stats, witness, span,
                   budget):
+            return set(witness)
+        return None
+    if engine == "numpy":
+        if active_row is None:
+            if active_mask is not None:
+                active_row = npmask.row_from_mask(
+                    active_mask, graph.num_vertices)
+            elif active is not None:
+                active_row = npmask.row_from_mask(
+                    mask_of(active), graph.num_vertices)
+            else:
+                active_row = graph.all_row()
+        if _check_np(
+                graph.adjacency_matrix(), graph.left_row(),
+                graph.num_vertices, active_row, tau_l, tau_r, stats,
+                witness, span, budget):
             return set(witness)
         return None
     if active_mask is None:
@@ -192,6 +214,67 @@ def _check_bits(
             low = rest & -rest
             rest ^= low
             degree[low.bit_length() - 1] -= 1
+    return False
+
+
+def _check_np(
+    mat: "Matrix",
+    left_row: "Row",
+    num_vertices: int,
+    active: "Row",
+    tau_l: int,
+    tau_r: int,
+    stats: "SearchStats | None",
+    witness: list[int],
+    span: Span | None = None,
+    budget: "Budget | None" = None,
+) -> bool:
+    """Numpy-engine mirror of :func:`_check_bits` (identical search)."""
+    if stats is not None:
+        stats.nodes += 1
+    if span is not None:
+        span.count("nodes")
+    if budget is not None:
+        budget.spend()
+    if tau_l == 0 and tau_r == 0:
+        return True
+    active = npmask.bicore_active(mat, left_row, tau_l, tau_r, active)
+    left = active & left_row
+    left_count = npmask.row_count(left)
+    active_count = npmask.row_count(active)
+    # Feasibility guard (implicit in the pseudocode's empty loop): each
+    # side must still be able to cover its quota.
+    if left_count < tau_l or active_count - left_count < tau_r:
+        return False
+
+    if tau_l > 0 and tau_r == 0:
+        pool = left
+    elif tau_l == 0 and tau_r > 0:
+        pool = active & ~left_row
+    else:
+        pool = active
+
+    pool_alive = npmask.row_bool(pool, num_vertices)
+    degree = npmask.degrees_in_active(mat, active)
+    active = active.copy()
+    while True:
+        # Minimum-degree pool vertex (lowest id on ties).
+        v = npmask.argmin_active(degree, pool_alive)
+        if v < 0:
+            break
+        if npmask.test_bit(left_row, v):
+            next_l, next_r = tau_l - 1, tau_r
+        else:
+            next_l, next_r = tau_l, tau_r - 1
+        witness.append(v)
+        if _check_np(mat, left_row, num_vertices,
+                     npmask.intersect_active(mat, v, active),
+                     next_l, next_r, stats, witness, span, budget):
+            return True
+        witness.pop()
+        pool_alive[v] = False
+        npmask.clear_bit(active, v)
+        npmask.subtract_members(degree, mat[v] & active, num_vertices)
     return False
 
 

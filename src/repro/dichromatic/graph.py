@@ -12,10 +12,14 @@ graph the network was extracted from (see :mod:`repro.dichromatic.build`).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..kernels import npmask
 from ..kernels.bitset import adjacency_masks, full_mask, iter_bits, \
     left_side_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernels.npmask import Matrix, Row
 
 __all__ = ["DichromaticGraph"]
 
@@ -48,7 +52,9 @@ class DichromaticGraph:
             self.origin = list(origin)
         self._adj: list[set[int]] | None = [set() for _ in range(n)]
         self._adj_bits: list[int] | None = None
+        self._adj_np: "Matrix | None" = None
         self._left_bits: int | None = None
+        self._left_row: "Row | None" = None
 
     @classmethod
     def from_masks(
@@ -75,14 +81,46 @@ class DichromaticGraph:
         network.origin = list(origin)
         network._adj = None
         network._adj_bits = list(adjacency)
+        network._adj_np = None
         network._left_bits = None
+        network._left_row = None
+        return network
+
+    @classmethod
+    def from_matrix(
+        cls,
+        is_left: Sequence[bool],
+        origin: Sequence[int],
+        matrix: "Matrix",
+    ) -> "DichromaticGraph":
+        """Build directly from a uint64 adjacency mask matrix.
+
+        The matrix-native ego-network builder
+        (:func:`repro.dichromatic.build.build_dichromatic_network_matrix`)
+        produces these; int masks and adjacency sets are materialized
+        lazily only if a non-array accessor is used.  ``matrix`` must be
+        symmetric and self-loop-free — callers own that invariant.
+        """
+        network = cls.__new__(cls)
+        network.is_left = list(is_left)
+        n = len(network.is_left)
+        if len(origin) != n or matrix.shape[0] != n:
+            raise ValueError(
+                f"expected {n} origin/matrix entries, got "
+                f"{len(origin)}/{matrix.shape[0]}")
+        network.origin = list(origin)
+        network._adj = None
+        network._adj_bits = None
+        network._adj_np = matrix
+        network._left_bits = None
+        network._left_row = None
         return network
 
     def _sets(self) -> list[set[int]]:
         """Adjacency sets, materialized from the masks on first use."""
         if self._adj is None:
             self._adj = [
-                set(iter_bits(mask)) for mask in self._adj_bits]
+                set(iter_bits(mask)) for mask in self.adjacency_bits()]
         return self._adj
 
     @property
@@ -93,7 +131,10 @@ class DichromaticGraph:
     def num_edges(self) -> int:
         if self._adj_bits is not None:
             return sum(mask.bit_count() for mask in self._adj_bits) // 2
-        return sum(len(adj) for adj in self._adj) // 2
+        if self._adj is not None:
+            return sum(len(adj) for adj in self._adj) // 2
+        assert self._adj_np is not None
+        return npmask.matrix_edge_count(self._adj_np)
 
     def vertices(self) -> range:
         return range(self.num_vertices)
@@ -113,12 +154,19 @@ class DichromaticGraph:
     def degree(self, v: int) -> int:
         if self._adj_bits is not None:
             return self._adj_bits[v].bit_count()
-        return len(self._adj[v])
+        if self._adj is not None:
+            return len(self._adj[v])
+        assert self._adj_np is not None
+        return npmask.degree_in_active(
+            self._adj_np, v, self.all_row())
 
     def has_edge(self, u: int, v: int) -> bool:
         if self._adj_bits is not None:
             return bool(self._adj_bits[u] & (1 << v))
-        return v in self._adj[u]
+        if self._adj is not None:
+            return v in self._adj[u]
+        assert self._adj_np is not None
+        return npmask.test_bit(self._adj_np[u], v)
 
     def add_edge(self, u: int, v: int) -> None:
         if u == v:
@@ -130,6 +178,7 @@ class DichromaticGraph:
         adj[u].add(v)
         adj[v].add(u)
         self._adj_bits = None
+        self._adj_np = None
 
     # ------------------------------------------------------------------
     # Bitset adjacency (kernel layer)
@@ -141,7 +190,12 @@ class DichromaticGraph:
         mutate the returned list or its entries between edits.
         """
         if self._adj_bits is None:
-            self._adj_bits = adjacency_masks(self._adj)
+            if self._adj is not None:
+                self._adj_bits = adjacency_masks(self._adj)
+            else:
+                assert self._adj_np is not None
+                self._adj_bits = npmask.masks_from_matrix(
+                    self._adj_np, self.num_vertices)
         return self._adj_bits
 
     def left_bits(self) -> int:
@@ -153,6 +207,31 @@ class DichromaticGraph:
     def all_bits(self) -> int:
         """Mask of the full vertex set ``0..n-1``."""
         return full_mask(self.num_vertices)
+
+    # ------------------------------------------------------------------
+    # Matrix adjacency (numpy kernel layer)
+    # ------------------------------------------------------------------
+    def adjacency_matrix(self) -> "Matrix":
+        """Adjacency as a uint64 mask matrix, built lazily and cached.
+
+        Invalidated by :meth:`add_edge`, like :meth:`adjacency_bits`;
+        callers must not mutate the returned array between edits.
+        """
+        if self._adj_np is None:
+            self._adj_np = npmask.matrix_from_masks(
+                self.adjacency_bits(), self.num_vertices)
+        return self._adj_np
+
+    def left_row(self) -> "Row":
+        """``V_L`` as a uint64 mask row, cached."""
+        if self._left_row is None:
+            self._left_row = npmask.bool_to_row(
+                self.is_left, self.num_vertices)
+        return self._left_row
+
+    def all_row(self) -> "Row":
+        """The full vertex set ``0..n-1`` as a fresh uint64 mask row."""
+        return npmask.full_row(self.num_vertices)
 
     def edges(self) -> Iterable[tuple[int, int]]:
         adj = self._sets()

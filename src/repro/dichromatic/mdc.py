@@ -21,7 +21,7 @@ Thresholds may go below zero (a side may exceed its quota); the search
 is exhaustive, so the returned clique is exactly
 ``argmax {|C'| : C' beats the bar and satisfies the thresholds}``.
 
-Two engines implement the identical search:
+Three engines implement the identical search:
 
 * ``engine="bitset"`` (default) carries the active candidate set as a
   single int mask over the kernels of :mod:`repro.kernels.active` and
@@ -29,6 +29,10 @@ Two engines implement the identical search:
   min-degree branching re-scanned every pool vertex's neighbourhood on
   every iteration, an O(|B|² · d) pattern this engine reduces to
   O(|B|²) cheap array lookups plus one neighbour sweep per removal;
+* ``engine="numpy"`` carries the candidate set as a uint64 mask row
+  over the vectorised kernels of :mod:`repro.kernels.npmask` — per-node
+  degree recomputation, core peeling and the colouring bound all run
+  as whole-array operations;
 * ``engine="set"`` is the original adjacency-set implementation, kept
   for differential testing and the ablation benchmarks.
 """
@@ -37,7 +41,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..kernels import validate_engine
+from ..kernels import npmask, validate_engine
 from ..kernels.active import (
     coloring_upper_bound_active_mask,
     k_core_active_mask,
@@ -50,6 +54,7 @@ from .graph import DichromaticGraph
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.stats import SearchStats
+    from ..kernels.npmask import Row
 
 __all__ = ["solve_mdc", "FeasibleFound"]
 
@@ -74,6 +79,7 @@ def solve_mdc(
     use_core: bool = True,
     engine: str = "bitset",
     active_mask: int | None = None,
+    active_row: "Row | None" = None,
     trace: Tracer | None = None,
     budget: "Budget | None" = None,
 ) -> set[int] | None:
@@ -104,11 +110,15 @@ def solve_mdc(
         by default, as in the paper); used by the ablation benchmarks
         to quantify each rule's contribution.
     engine:
-        ``"bitset"`` (default) or ``"set"`` — see the module docstring.
+        ``"bitset"`` (default), ``"numpy"`` or ``"set"`` — see the
+        module docstring.
     active_mask:
         Bitset-engine fast path for ``active``: callers that already
         hold the active set as a mask (MBC* after its mask-based core
         reduction) pass it here to skip a set/mask round-trip.
+    active_row:
+        Numpy-engine analogue of ``active_mask``: the active set as a
+        uint64 mask row (MBC*/PF* pass their already-peeled row).
     trace:
         Optional :class:`repro.obs.Tracer`; defaults to the ambient
         tracer.  Each instance closes one ``mdc`` span recording the
@@ -132,7 +142,7 @@ def solve_mdc(
         found = _solve(
             graph, tau_l, tau_r, must_exceed, stats, check_only,
             active, use_coloring, use_core, engine, active_mask,
-            span if tracer.enabled else None, budget)
+            active_row, span if tracer.enabled else None, budget)
         if tracer.enabled:
             span.set(found=found is not None)
             nodes = span.attrs.get("nodes", 0)
@@ -153,6 +163,7 @@ def _solve(
     use_core: bool,
     engine: str,
     active_mask: int | None,
+    active_row: "Row | None",
     span: Span | None,
     budget: "Budget | None",
 ) -> set[int] | None:
@@ -172,6 +183,27 @@ def _solve(
         except FeasibleFound as found:
             return found.clique
         return state.best
+
+    if engine == "numpy":
+        if active_row is None:
+            if active_mask is not None:
+                active_row = npmask.row_from_mask(
+                    active_mask, graph.num_vertices)
+            elif active is not None:
+                active_row = npmask.row_from_mask(
+                    mask_of(active), graph.num_vertices)
+            else:
+                active_row = graph.all_row()
+        state_n = _ArrayState(graph, must_exceed, stats)
+        state_n.use_coloring = use_coloring
+        state_n.use_core = use_core
+        state_n.span = span
+        state_n.budget = budget
+        try:
+            state_n.search([], active_row, tau_l, tau_r, check_only)
+        except FeasibleFound as found:
+            return found.clique
+        return state_n.best
 
     if active_mask is None:
         if active is None:
@@ -299,6 +331,107 @@ class _BitsetState:
                 low = rest & -rest
                 rest ^= low
                 degree[low.bit_length() - 1] -= 1
+            # Re-check viability: removing v may make the remainder
+            # too small for either quota or for a strictly larger clique.
+            if len(clique) + active_count <= self.best_size:
+                return
+
+
+class _ArrayState:
+    """Mutable search state for the numpy engine.
+
+    The exact search of :class:`_BitsetState` with every mask replaced
+    by a uint64 row over :mod:`repro.kernels.npmask`: per-node degrees
+    come from one vectorised popcount pass, the branching pool is a
+    bool membership array scanned by masked argmin (first occurrence =
+    lowest id, matching the bitset tie-break), and degree updates are
+    one bool-subtract per removal.
+    """
+
+    def __init__(
+        self,
+        graph: DichromaticGraph,
+        must_exceed: int,
+        stats: "SearchStats | None",
+    ) -> None:
+        self.mat = graph.adjacency_matrix()
+        self.left_row = graph.left_row()
+        self.num_vertices = graph.num_vertices
+        self.best: set[int] | None = None
+        self.best_size = must_exceed
+        self.stats = stats
+        self.use_coloring = True
+        self.use_core = True
+        self.span: Span | None = None
+        self.budget: Budget | None = None
+
+    def search(
+        self,
+        clique: list[int],
+        active: "Row",
+        tau_l: int,
+        tau_r: int,
+        check_only: bool,
+    ) -> None:
+        mat = self.mat
+        n = self.num_vertices
+        if self.stats is not None:
+            self.stats.nodes += 1
+        if self.span is not None:
+            self.span.count("nodes")
+        if self.budget is not None:
+            self.budget.spend()
+        if tau_l <= 0 and tau_r <= 0:
+            if check_only:
+                # Boundary materialisation, per the solve_mdc contract.
+                raise FeasibleFound(set(clique))
+            if len(clique) > self.best_size:
+                self.best = set(clique)
+                self.best_size = len(clique)
+
+        if self.use_core:
+            active = npmask.k_core_active(
+                mat, self.best_size - len(clique), active)
+        left = active & self.left_row
+        left_count = npmask.row_count(left)
+        active_count = npmask.row_count(active)
+        if left_count < tau_l or active_count - left_count < tau_r:
+            return
+        if not check_only and self.use_coloring:
+            bound = npmask.coloring_upper_bound_active(mat, active)
+            if bound <= self.best_size - len(clique):
+                return
+
+        if tau_l > 0 and tau_r <= 0:
+            pool = left
+        elif tau_l <= 0 and tau_r > 0:
+            pool = active & ~self.left_row
+        else:
+            pool = active
+
+        pool_alive = npmask.row_bool(pool, n)
+        degree = npmask.degrees_in_active(mat, active)
+        # The candidate row is mutated in place below; detach it from
+        # whatever the caller handed in (it may be a shared prefix row).
+        active = active.copy()
+        while True:
+            # Minimum-degree pool vertex (lowest id on ties).
+            v = npmask.argmin_active(degree, pool_alive)
+            if v < 0:
+                break
+            if npmask.test_bit(self.left_row, v):
+                next_l, next_r = tau_l - 1, tau_r
+            else:
+                next_l, next_r = tau_l, tau_r - 1
+            clique.append(v)
+            self.search(
+                clique, npmask.intersect_active(mat, v, active),
+                next_l, next_r, check_only)
+            clique.pop()
+            pool_alive[v] = False
+            npmask.clear_bit(active, v)
+            active_count -= 1
+            npmask.subtract_members(degree, mat[v] & active, n)
             # Re-check viability: removing v may make the remainder
             # too small for either quota or for a strictly larger clique.
             if len(clique) + active_count <= self.best_size:

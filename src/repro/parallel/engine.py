@@ -116,6 +116,7 @@ def mbc_ego_fanout(
     stats: SearchStats | None = None,
     trace: Tracer | None = None,
     budget: "Budget | None" = None,
+    engine: str = "bitset",
 ) -> BalancedClique:
     """Run MBC*'s ego-network sweep as a parallel fan-out.
 
@@ -129,7 +130,10 @@ def mbc_ego_fanout(
     is enforced at chunk granularity: the deadline between chunk
     results (the dispatcher's heartbeat), the node cap from the
     chunks' stats deltas; on exhaustion the already-aggregated best
-    witness is returned (anytime contract).
+    witness is returned (anytime contract).  ``engine`` selects the
+    worker-side kernel backend (``"bitset"`` or ``"numpy"``); task
+    planning always runs on the parent's int masks, and the shipped
+    context rebuilds the matching representation worker-side.
     """
     tracer = trace if trace is not None else current_tracer()
     pos_bits = working.pos_adjacency_bits()
@@ -154,7 +158,8 @@ def mbc_ego_fanout(
     ctx_obj = WorkerContext(
         pos_bits, neg_bits, working.num_vertices, tau, order, incumbent,
         use_core=use_core, use_coloring=use_coloring,
-        want_stats=want_accounting, want_trace=tracer.enabled)
+        want_stats=want_accounting, want_trace=tracer.enabled,
+        engine=engine)
     chunks = chunk_vertices([t.u for t in viable], workers)
 
     want_pool = (workers > 1 and len(viable) >= MIN_POOL_TASKS
@@ -224,6 +229,7 @@ def pf_round_fanout(
     stats: SearchStats | None = None,
     trace: Tracer | None = None,
     budget: "Budget | None" = None,
+    engine: str = "bitset",
 ) -> tuple[int, BalancedClique]:
     """Run PF*'s DCC sweep as rounds of parallel +1 questions.
 
@@ -240,6 +246,8 @@ def pf_round_fanout(
     A ``budget`` stops between rounds or between a round's chunks;
     ``tau_star``/``witness`` are only advanced together after a full
     round, so the truncated return is always a certified pair.
+    ``engine`` selects the worker-side kernel backend, as in
+    :func:`mbc_ego_fanout`.
     """
     tracer = trace if trace is not None else current_tracer()
     pos_bits = working.pos_adjacency_bits()
@@ -252,7 +260,8 @@ def pf_round_fanout(
     want_accounting = _want_accounting(stats, budget)
     ctx_obj = WorkerContext(
         pos_bits, neg_bits, working.num_vertices, 0, order, incumbent,
-        want_stats=want_accounting, want_trace=tracer.enabled)
+        want_stats=want_accounting, want_trace=tracer.enabled,
+        engine=engine)
 
     # PDecompose hands pn as a dense list; other reduction paths pass a
     # (possibly partial) dict.  Normalize so the round filter can use

@@ -28,13 +28,15 @@ feasibility question per vertex at the round's (or the live shared)
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..core.stats import SearchStats
 from ..dichromatic.build import dichromatic_network_from_masks, \
-    ego_edge_count_from_masks
+    dichromatic_network_from_matrix, ego_edge_count_from_masks, \
+    ego_edge_count_from_matrix
 from ..dichromatic.dcc import dichromatic_clique_witness
 from ..dichromatic.mdc import solve_mdc
+from ..kernels import npmask
 from ..kernels.active import (
     active_edge_count_mask,
     bicore_active_mask,
@@ -42,10 +44,14 @@ from ..kernels.active import (
     k_core_active_mask,
 )
 from ..kernels.bitset import masks_from_bytes, masks_to_bytes
-from ..obs import TraceBuffer, get_tracer, install_tracer
+from ..obs import Span, TraceBuffer, Tracer, get_tracer, install_tracer
 from ..resilience.faults import fire_faults
 from .incumbent import SharedIncumbent
 from .tasks import suffix_masks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dichromatic.graph import DichromaticGraph
+    from ..kernels.npmask import Matrix, Row
 
 __all__ = [
     "WorkerContext",
@@ -61,9 +67,14 @@ __all__ = [
 ]
 
 #: :meth:`WorkerContext.pack` wire format — two mask byte blobs, the
-#: vertex count, tau, the processing order, and the four flags.
+#: vertex count, tau, the processing order, the four flags, and the
+#: engine name.  The blob layout is engine-independent
+#: (``mask_stride(n)`` bytes per vertex, little-endian), so a numpy
+#: worker rebuilds its matrices straight from the blob
+#: (:func:`repro.kernels.npmask.matrix_from_bytes`) without re-packing
+#: Python ints.
 PackedContext = tuple[
-    bytes, bytes, int, int, "list[int]", bool, bool, bool, bool]
+    bytes, bytes, int, int, "list[int]", bool, bool, bool, bool, str]
 
 #: ``(witness, stats delta, trace delta, examined, skipped)`` per MDC
 #: chunk; the witness is ``(anchor u, [(vertex, is_left), ...])`` or
@@ -89,8 +100,8 @@ class WorkerContext:
 
     def __init__(
         self,
-        pos_bits: list[int],
-        neg_bits: list[int],
+        pos_bits: "list[int] | None",
+        neg_bits: "list[int] | None",
         n: int,
         tau: int,
         order: list[int],
@@ -99,6 +110,9 @@ class WorkerContext:
         use_coloring: bool = True,
         want_stats: bool = False,
         want_trace: bool = False,
+        engine: str = "bitset",
+        pos_mat: "Matrix | None" = None,
+        neg_mat: "Matrix | None" = None,
     ) -> None:
         self.pos_bits = pos_bits
         self.neg_bits = neg_bits
@@ -110,7 +124,11 @@ class WorkerContext:
         self.use_coloring = use_coloring
         self.want_stats = want_stats
         self.want_trace = want_trace
+        self.engine = engine
+        self._pos_mat = pos_mat
+        self._neg_mat = neg_mat
         self._allowed: dict[int, int] | None = None
+        self._allowed_rows: "Matrix | None" = None
 
     def allowed(self, u: int) -> int:
         """Higher-ranked mask of ``u``, from the lazily-built suffix
@@ -119,32 +137,75 @@ class WorkerContext:
             self._allowed = suffix_masks(self.order)
         return self._allowed[u]
 
+    def allowed_row(self, u: int) -> "Row":
+        """Numpy-engine analogue of :meth:`allowed` — one lazily-built
+        ``(n, words)`` suffix matrix per worker per solve."""
+        if self._allowed_rows is None:
+            self._allowed_rows = npmask.suffix_rows(self.order, self.n)
+        return self._allowed_rows[u]
+
+    def pos_matrix(self) -> "Matrix":
+        """Positive adjacency as a mask matrix (built once per worker
+        from the int masks under ``fork``; shipped pre-built or rebuilt
+        from the blob under ``spawn``)."""
+        if self._pos_mat is None:
+            assert self.pos_bits is not None
+            self._pos_mat = npmask.matrix_from_masks(
+                self.pos_bits, self.n)
+        return self._pos_mat
+
+    def neg_matrix(self) -> "Matrix":
+        """Negative adjacency as a mask matrix (see
+        :meth:`pos_matrix`)."""
+        if self._neg_mat is None:
+            assert self.neg_bits is not None
+            self._neg_mat = npmask.matrix_from_masks(
+                self.neg_bits, self.n)
+        return self._neg_mat
+
     def pack(self) -> PackedContext:
         """Compact picklable form for ``spawn`` pools.
 
-        The mask lists dominate the payload; as byte blobs they pickle
+        The adjacency dominates the payload; as byte blobs it pickles
         as two opaque buffers instead of ``2n`` big-int reductions.
         The incumbent's ``multiprocessing.Value`` travels separately —
-        it carries its own shared-memory reduction.
+        it carries its own shared-memory reduction.  Both engines emit
+        the identical blob layout; the trailing engine name tells the
+        spawned worker which representation to rebuild.
         """
+        if self.pos_bits is not None and self.neg_bits is not None:
+            pos_blob = masks_to_bytes(self.pos_bits, self.n)
+            neg_blob = masks_to_bytes(self.neg_bits, self.n)
+        else:
+            pos_blob = npmask.matrix_to_bytes(self.pos_matrix(), self.n)
+            neg_blob = npmask.matrix_to_bytes(self.neg_matrix(), self.n)
         return (
-            masks_to_bytes(self.pos_bits, self.n),
-            masks_to_bytes(self.neg_bits, self.n),
+            pos_blob, neg_blob,
             self.n, self.tau, self.order,
             self.use_core, self.use_coloring, self.want_stats,
-            self.want_trace,
+            self.want_trace, self.engine,
         )
 
     @classmethod
     def unpack(cls, packed: PackedContext,
                incumbent: SharedIncumbent) -> "WorkerContext":
         pos_blob, neg_blob, n, tau, order, use_core, use_coloring, \
-            want_stats, want_trace = packed
+            want_stats, want_trace, engine = packed
+        if engine == "numpy":
+            # Array round-trip: the blobs become matrices directly —
+            # no intermediate Python-int masks are ever built.
+            return cls(
+                None, None, n, tau, order, incumbent,
+                use_core=use_core, use_coloring=use_coloring,
+                want_stats=want_stats, want_trace=want_trace,
+                engine=engine,
+                pos_mat=npmask.matrix_from_bytes(pos_blob, n),
+                neg_mat=npmask.matrix_from_bytes(neg_blob, n))
         return cls(
             masks_from_bytes(pos_blob, n), masks_from_bytes(neg_blob, n),
             n, tau, order, incumbent,
             use_core=use_core, use_coloring=use_coloring,
-            want_stats=want_stats, want_trace=want_trace)
+            want_stats=want_stats, want_trace=want_trace, engine=engine)
 
 
 def install_context(ctx: "WorkerContext | None") -> None:
@@ -173,13 +234,14 @@ def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
     """
     ctx = _CTX
     assert ctx is not None, "worker context not installed"
-    pos_bits, neg_bits, tau = ctx.pos_bits, ctx.neg_bits, ctx.tau
+    tau = ctx.tau
     incumbent = ctx.incumbent
     stats = SearchStats() if ctx.want_stats else None
     tracer = get_tracer(ctx.want_trace)
     # Ambient for the chunk's duration, so kernel-layer spans (mask
     # builds inside the network constructors) land in the buffer too.
     previous = install_tracer(tracer) if ctx.want_trace else None
+    ego_solver = _mdc_ego_np if ctx.engine == "numpy" else _mdc_ego_bits
     best_witness = None
     best_size = 0
     skipped = 0
@@ -191,54 +253,15 @@ def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
                 # register: a stale read only loosens the bound, never
                 # breaks correctness.
                 required = max(incumbent.get() + 1, 2 * tau)
-                allowed = ctx.allowed(u)
-                pos_count = (pos_bits[u] & allowed).bit_count()
-                neg_count = (neg_bits[u] & allowed).bit_count()
-                if (pos_count + neg_count + 1 < required
-                        or pos_count < tau - 1 or neg_count < tau):
-                    skipped += 1
-                    ego.set(pruned="bound")
+                pruned, network, found = ego_solver(
+                    ctx, u, required, stats, tracer, ego)
+                if pruned is not None:
+                    if pruned == "bound":
+                        skipped += 1
+                    ego.set(pruned=pruned)
                     continue
-                network = dichromatic_network_from_masks(
-                    pos_bits, neg_bits, u, allowed)
-                if network.num_vertices + 1 < required:
-                    ego.set(pruned="size")
-                    continue
-                adj_bits = network.adjacency_bits()
-                active_mask = network.all_bits()
-                if ctx.use_core:
-                    active_mask = k_core_active_mask(
-                        adj_bits, required - 2, active_mask)
-                if active_mask.bit_count() + 1 < required:
-                    ego.set(pruned="core")
-                    continue
-                if ctx.use_coloring:
-                    bound = coloring_upper_bound_active_mask(
-                        adj_bits, active_mask)
-                    if bound < required - 1:
-                        ego.set(pruned="color")
-                        continue
-                ego.set(n=network.num_vertices,
-                        reduced=active_mask.bit_count())
-                if stats is not None:
-                    stats.instances += 1
-                    ego_edges = ego_edge_count_from_masks(
-                        pos_bits, neg_bits, u, allowed)
-                    reduced_edges = active_edge_count_mask(
-                        adj_bits, active_mask)
-                    stats.record_reduction(
-                        ego_edges, network.num_edges, reduced_edges)
-                found = solve_mdc(
-                    network, tau - 1, tau,
-                    must_exceed=required - 2,
-                    stats=stats,
-                    engine="bitset",
-                    use_coloring=ctx.use_coloring,
-                    use_core=ctx.use_core,
-                    active_mask=active_mask,
-                    trace=tracer)
                 ego.set(found=found is not None)
-                if found is None:
+                if found is None or network is None:
                     continue
                 size = len(found) + 1
                 incumbent.improve(size)
@@ -252,6 +275,117 @@ def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
         install_tracer(previous)
     buffer = tracer.export_buffer() if ctx.want_trace else None
     return best_witness, stats, buffer, len(chunk), skipped
+
+
+def _mdc_ego_bits(
+    ctx: WorkerContext,
+    u: int,
+    required: int,
+    stats: "SearchStats | None",
+    tracer: Tracer,
+    ego: Span,
+) -> "tuple[str | None, DichromaticGraph | None, set[int] | None]":
+    """One bitset-engine MDC ego task: prune chain + exact solve.
+
+    Returns ``(pruned reason, network, witness)``; exactly one of the
+    reason and the network is ``None``, and the witness is ``None``
+    unless the solve improved on ``required``.
+    """
+    pos_bits, neg_bits, tau = ctx.pos_bits, ctx.neg_bits, ctx.tau
+    assert pos_bits is not None and neg_bits is not None
+    allowed = ctx.allowed(u)
+    pos_count = (pos_bits[u] & allowed).bit_count()
+    neg_count = (neg_bits[u] & allowed).bit_count()
+    if (pos_count + neg_count + 1 < required
+            or pos_count < tau - 1 or neg_count < tau):
+        return "bound", None, None
+    network = dichromatic_network_from_masks(
+        pos_bits, neg_bits, u, allowed)
+    if network.num_vertices + 1 < required:
+        return "size", None, None
+    adj_bits = network.adjacency_bits()
+    active_mask = network.all_bits()
+    if ctx.use_core:
+        active_mask = k_core_active_mask(
+            adj_bits, required - 2, active_mask)
+    if active_mask.bit_count() + 1 < required:
+        return "core", None, None
+    if ctx.use_coloring:
+        bound = coloring_upper_bound_active_mask(adj_bits, active_mask)
+        if bound < required - 1:
+            return "color", None, None
+    ego.set(n=network.num_vertices, reduced=active_mask.bit_count())
+    if stats is not None:
+        stats.instances += 1
+        ego_edges = ego_edge_count_from_masks(
+            pos_bits, neg_bits, u, allowed)
+        reduced_edges = active_edge_count_mask(adj_bits, active_mask)
+        stats.record_reduction(
+            ego_edges, network.num_edges, reduced_edges)
+    found = solve_mdc(
+        network, tau - 1, tau,
+        must_exceed=required - 2,
+        stats=stats,
+        engine="bitset",
+        use_coloring=ctx.use_coloring,
+        use_core=ctx.use_core,
+        active_mask=active_mask,
+        trace=tracer)
+    return None, network, found
+
+
+def _mdc_ego_np(
+    ctx: WorkerContext,
+    u: int,
+    required: int,
+    stats: "SearchStats | None",
+    tracer: Tracer,
+    ego: Span,
+) -> "tuple[str | None, DichromaticGraph | None, set[int] | None]":
+    """Numpy-engine mirror of :func:`_mdc_ego_bits` — same prune chain
+    over the mask-matrix kernels, same solve at ``engine="numpy"``."""
+    pos_mat, neg_mat = ctx.pos_matrix(), ctx.neg_matrix()
+    tau = ctx.tau
+    allowed = ctx.allowed_row(u)
+    pos_count = npmask.degree_in_active(pos_mat, u, allowed)
+    neg_count = npmask.degree_in_active(neg_mat, u, allowed)
+    if (pos_count + neg_count + 1 < required
+            or pos_count < tau - 1 or neg_count < tau):
+        return "bound", None, None
+    network = dichromatic_network_from_matrix(
+        pos_mat, neg_mat, u, allowed)
+    if network.num_vertices + 1 < required:
+        return "size", None, None
+    adj_mat = network.adjacency_matrix()
+    active_row = network.all_row()
+    if ctx.use_core:
+        active_row = npmask.k_core_active(
+            adj_mat, required - 2, active_row)
+    reduced_count = npmask.row_count(active_row)
+    if reduced_count + 1 < required:
+        return "core", None, None
+    if ctx.use_coloring:
+        bound = npmask.coloring_upper_bound_active(adj_mat, active_row)
+        if bound < required - 1:
+            return "color", None, None
+    ego.set(n=network.num_vertices, reduced=reduced_count)
+    if stats is not None:
+        stats.instances += 1
+        ego_edges = ego_edge_count_from_matrix(
+            pos_mat, neg_mat, u, allowed)
+        reduced_edges = npmask.active_edge_count(adj_mat, active_row)
+        stats.record_reduction(
+            ego_edges, network.num_edges, reduced_edges)
+    found = solve_mdc(
+        network, tau - 1, tau,
+        must_exceed=required - 2,
+        stats=stats,
+        engine="numpy",
+        use_coloring=ctx.use_coloring,
+        use_core=ctx.use_core,
+        active_row=active_row,
+        trace=tracer)
+    return None, network, found
 
 
 def run_mdc_chunk_task(
@@ -293,53 +427,24 @@ def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:
     ctx = _CTX
     assert ctx is not None, "worker context not installed"
     bar, chunk = args
-    pos_bits, neg_bits = ctx.pos_bits, ctx.neg_bits
     incumbent = ctx.incumbent
     stats = SearchStats() if ctx.want_stats else None
     tracer = get_tracer(ctx.want_trace)
     previous = install_tracer(tracer) if ctx.want_trace else None
+    ego_solver = _dcc_ego_np if ctx.engine == "numpy" else _dcc_ego_bits
     successes = []
 
     with tracer.span("chunk", size=len(chunk), bar=bar):
         for u in chunk:
             with tracer.span("ego", v=u) as ego:
                 bar_used = max(bar, incumbent.get())
-                allowed = ctx.allowed(u)
-                # Cheap candidate bound first: the witness needs
-                # bar_used positive and bar_used + 1 negative
-                # candidates besides u.
-                if ((pos_bits[u] & allowed).bit_count() < bar_used
-                        or (neg_bits[u] & allowed).bit_count()
-                        < bar_used + 1):
-                    ego.set(pruned="bound")
+                pruned, network, found = ego_solver(
+                    ctx, u, bar_used, stats, tracer, ego)
+                if pruned is not None:
+                    ego.set(pruned=pruned)
                     continue
-                network = dichromatic_network_from_masks(
-                    pos_bits, neg_bits, u, allowed)
-                adj_bits = network.adjacency_bits()
-                left_bits = network.left_bits()
-                active_mask = bicore_active_mask(
-                    adj_bits, left_bits, bar_used, bar_used + 1,
-                    network.all_bits())
-                left_count = (active_mask & left_bits).bit_count()
-                right_count = active_mask.bit_count() - left_count
-                if left_count < bar_used or right_count < bar_used + 1:
-                    ego.set(pruned="core")
-                    continue
-                ego.set(n=network.num_vertices)
-                if stats is not None:
-                    stats.instances += 1
-                    ego_edges = ego_edge_count_from_masks(
-                        pos_bits, neg_bits, u, allowed)
-                    reduced = active_edge_count_mask(
-                        adj_bits, active_mask)
-                    stats.record_reduction(
-                        ego_edges, network.num_edges, reduced)
-                found = dichromatic_clique_witness(
-                    network, bar_used, bar_used + 1, stats=stats,
-                    engine="bitset", active_mask=active_mask,
-                    trace=tracer)
                 ego.set(found=found is not None)
-                if found is None:
+                if found is None or network is None:
                     continue
                 incumbent.improve(bar_used + 1)
                 successes.append((u, bar_used, [
@@ -350,3 +455,87 @@ def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:
         install_tracer(previous)
     buffer = tracer.export_buffer() if ctx.want_trace else None
     return successes, stats, buffer, len(chunk)
+
+
+def _dcc_ego_bits(
+    ctx: WorkerContext,
+    u: int,
+    bar_used: int,
+    stats: "SearchStats | None",
+    tracer: Tracer,
+    ego: Span,
+) -> "tuple[str | None, DichromaticGraph | None, set[int] | None]":
+    """One bitset-engine DCC ego task: candidate bound, bicore, check.
+
+    Same contract as :func:`_mdc_ego_bits`.
+    """
+    pos_bits, neg_bits = ctx.pos_bits, ctx.neg_bits
+    assert pos_bits is not None and neg_bits is not None
+    allowed = ctx.allowed(u)
+    # Cheap candidate bound first: the witness needs bar_used positive
+    # and bar_used + 1 negative candidates besides u.
+    if ((pos_bits[u] & allowed).bit_count() < bar_used
+            or (neg_bits[u] & allowed).bit_count() < bar_used + 1):
+        return "bound", None, None
+    network = dichromatic_network_from_masks(
+        pos_bits, neg_bits, u, allowed)
+    adj_bits = network.adjacency_bits()
+    left_bits = network.left_bits()
+    active_mask = bicore_active_mask(
+        adj_bits, left_bits, bar_used, bar_used + 1,
+        network.all_bits())
+    left_count = (active_mask & left_bits).bit_count()
+    right_count = active_mask.bit_count() - left_count
+    if left_count < bar_used or right_count < bar_used + 1:
+        return "core", None, None
+    ego.set(n=network.num_vertices)
+    if stats is not None:
+        stats.instances += 1
+        ego_edges = ego_edge_count_from_masks(
+            pos_bits, neg_bits, u, allowed)
+        reduced = active_edge_count_mask(adj_bits, active_mask)
+        stats.record_reduction(ego_edges, network.num_edges, reduced)
+    found = dichromatic_clique_witness(
+        network, bar_used, bar_used + 1, stats=stats,
+        engine="bitset", active_mask=active_mask, trace=tracer)
+    return None, network, found
+
+
+def _dcc_ego_np(
+    ctx: WorkerContext,
+    u: int,
+    bar_used: int,
+    stats: "SearchStats | None",
+    tracer: Tracer,
+    ego: Span,
+) -> "tuple[str | None, DichromaticGraph | None, set[int] | None]":
+    """Numpy-engine mirror of :func:`_dcc_ego_bits`."""
+    pos_mat, neg_mat = ctx.pos_matrix(), ctx.neg_matrix()
+    allowed = ctx.allowed_row(u)
+    # Cheap candidate bound first: the witness needs bar_used positive
+    # and bar_used + 1 negative candidates besides u.
+    if (npmask.degree_in_active(pos_mat, u, allowed) < bar_used
+            or npmask.degree_in_active(neg_mat, u, allowed)
+            < bar_used + 1):
+        return "bound", None, None
+    network = dichromatic_network_from_matrix(
+        pos_mat, neg_mat, u, allowed)
+    adj_mat = network.adjacency_matrix()
+    left_row = network.left_row()
+    active_row = npmask.bicore_active(
+        adj_mat, left_row, bar_used, bar_used + 1, network.all_row())
+    left_count = npmask.row_count(active_row & left_row)
+    right_count = npmask.row_count(active_row) - left_count
+    if left_count < bar_used or right_count < bar_used + 1:
+        return "core", None, None
+    ego.set(n=network.num_vertices)
+    if stats is not None:
+        stats.instances += 1
+        ego_edges = ego_edge_count_from_matrix(
+            pos_mat, neg_mat, u, allowed)
+        reduced = npmask.active_edge_count(adj_mat, active_row)
+        stats.record_reduction(ego_edges, network.num_edges, reduced)
+    found = dichromatic_clique_witness(
+        network, bar_used, bar_used + 1, stats=stats,
+        engine="numpy", active_row=active_row, trace=tracer)
+    return None, network, found

@@ -23,9 +23,14 @@ copy or build induced subgraphs via :meth:`SignedGraph.subgraph`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
+from ..kernels import npmask
 from ..kernels.bitset import adjacency_masks, full_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernels.npmask import Matrix
 
 POSITIVE = 1
 NEGATIVE = -1
@@ -57,6 +62,9 @@ class SignedGraph:
         self._neg_edges = 0
         self._pos_bits: list[int] | None = None
         self._neg_bits: list[int] | None = None
+        self._pos_mat: "Matrix | None" = None
+        self._neg_mat: "Matrix | None" = None
+        self._fingerprint: str | None = None
         self._labels: list[str] | None = None
         if labels is not None:
             if len(labels) != n:
@@ -185,6 +193,25 @@ class SignedGraph:
             self._neg_bits = adjacency_masks(self._neg)
         return self._neg_bits
 
+    def pos_adjacency_matrix(self) -> "Matrix":
+        """Positive adjacency as a uint64 mask matrix, lazily cached.
+
+        Kernel-layer representation for ``engine="numpy"``
+        (:mod:`repro.kernels.npmask`); same invalidation contract as
+        :meth:`pos_adjacency_bits`.
+        """
+        if self._pos_mat is None:
+            self._pos_mat = npmask.matrix_from_masks(
+                self.pos_adjacency_bits(), self.num_vertices)
+        return self._pos_mat
+
+    def neg_adjacency_matrix(self) -> "Matrix":
+        """Negative adjacency as a uint64 mask matrix, lazily cached."""
+        if self._neg_mat is None:
+            self._neg_mat = npmask.matrix_from_masks(
+                self.neg_adjacency_bits(), self.num_vertices)
+        return self._neg_mat
+
     def all_bits(self) -> int:
         """Mask of the full vertex set ``0..n-1``."""
         return full_mask(self.num_vertices)
@@ -192,6 +219,9 @@ class SignedGraph:
     def _invalidate_bits(self) -> None:
         self._pos_bits = None
         self._neg_bits = None
+        self._pos_mat = None
+        self._neg_mat = None
+        self._fingerprint = None
 
     def pos_degree(self, v: int) -> int:
         """``d+(v)``."""
@@ -339,6 +369,25 @@ class SignedGraph:
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of ``(n, sorted signed edges)``.
+
+        SHA-256 over a canonical serialisation: the vertex count
+        followed by every edge as ``u,v,sign`` with ``u < v`` in
+        lexicographic order.  Two graphs get the same fingerprint iff
+        they have the same vertex count and edge multiset — labels and
+        construction order do not matter.  This is the cache key for
+        result caching / memoization (ROADMAP); cached per instance and
+        invalidated by every mutation.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"n={self.num_vertices}".encode())
+            for u, v, sign in sorted(self.edges()):
+                digest.update(f";{u},{v},{sign}".encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
     def validate(self) -> None:
         """Check structural invariants; raises ``AssertionError`` on breakage.
 

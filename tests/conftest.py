@@ -7,7 +7,27 @@ import random
 import pytest
 from hypothesis import strategies as st
 
+from repro.kernels import available_engines
+from repro.kernels.npmask import HAVE_NUMPY
 from repro.signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+#: Skip marker for tests that exercise the numpy kernel backend
+#: directly.  numpy is an optional extra (``pip install repro[numpy]``)
+#: and the engine registry reports it unavailable when absent, so the
+#: differential matrices (which parametrize over
+#: :data:`SOLVER_ENGINES`) degrade gracefully without it.
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY,
+    reason="numpy not installed (pip install repro[numpy])")
+
+#: Every registered engine that is usable in this environment — the
+#: axis the differential matrices sweep.  ``set`` and ``bitset`` are
+#: always present; ``numpy`` joins when the import probe succeeds.
+SOLVER_ENGINES: tuple[str, ...] = available_engines()
+
+#: The available engines that support the parallel fan-out.
+PARALLEL_ENGINES: tuple[str, ...] = tuple(
+    e for e in SOLVER_ENGINES if e != "set")
 
 
 def make_random_signed_graph(

@@ -156,9 +156,9 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_nine_rules_with_unique_ids(self):
+    def test_ten_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 9
+        assert len(ids) == len(set(ids)) == 10
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):
@@ -443,6 +443,30 @@ def sweep(dispatcher: ResilientDispatcher, runner: object,
 '''
 
 
+R010_BAD = '''\
+"""Fixture."""
+__all__ = ["degrees"]
+
+
+def degrees(mat: "Matrix", active: "Row") -> "list[int]":
+    out: "list[int]" = []
+    for row in mat:
+        out.append(int((row & active).sum()))
+    return out
+'''
+
+R010_CLEAN = '''\
+"""Fixture."""
+import numpy as np
+
+__all__ = ["degrees"]
+
+
+def degrees(mat: "Matrix", active: "Row") -> "IntArray":
+    return np.bitwise_count(mat & active).sum(axis=1)
+'''
+
+
 def _with_pragma(source: str, line_fragment: str, rule_id: str) -> str:
     """Append a noqa pragma to the first line containing the fragment."""
     lines = source.splitlines()
@@ -473,6 +497,8 @@ RULE_FIXTURES = [
      "start = time.perf_counter()", R008_CLEAN),
     ("R009", "repro.core.fixture", R009_BAD,
      "return list(pool.imap_unordered(len, chunks))", R009_CLEAN),
+    ("R010", "repro.kernels.npmask", R010_BAD,
+     "for row in mat:", R010_CLEAN),
 ]
 
 
@@ -531,6 +557,43 @@ class TestRuleScoping:
             "def solve(active: set[int] | None) -> set[int]:\n"
             "    return set(active or ())\n")
         assert rule_hits(source, "repro.dichromatic.mdc", "R001") == []
+
+    def test_r010_only_polices_the_npmask_module(self):
+        # The same row loop is fine anywhere else — only the numpy
+        # backend promises vectorisation.
+        assert rule_hits(
+            R010_BAD, "repro.kernels.fixture", "R010") == []
+        assert rule_hits(R010_BAD, "repro.core.fixture", "R010") == []
+
+    def test_r010_flags_flat_and_nditer_walks(self):
+        source = (
+            '__all__ = ["walk"]\n'
+            "import numpy as np\n"
+            'def walk(mat: "Matrix") -> int:\n'
+            "    total = 0\n"
+            "    for word in mat.flat:\n"
+            "        total += int(word)\n"
+            "    for word in np.nditer(mat):\n"
+            "        total += int(word)\n"
+            "    return total\n")
+        hits = rule_hits(source, "repro.kernels.npmask", "R010")
+        assert len(hits) >= 2
+
+    def test_r010_allows_scalar_and_list_loops(self):
+        # Sequential-by-nature loops over Python lists or index
+        # materialisations stay legal; only matrix-row walks fire.
+        source = (
+            '__all__ = ["pack"]\n'
+            'def pack(masks: "Sequence[int]", order: "IntArray") '
+            '-> int:\n'
+            "    total = 0\n"
+            "    for mask in masks:\n"
+            "        total += mask\n"
+            "    for v in order.tolist():\n"
+            "        total += v\n"
+            "    return total\n")
+        assert rule_hits(
+            source, "repro.kernels.npmask", "R010") == []
 
     def test_r002_out_of_scope_package_is_quiet(self):
         assert rule_hits(R002_BAD, "repro.unsigned.fixture",

@@ -1,15 +1,24 @@
-"""Differential tests: set engine vs bitset engine.
+"""Differential tests: the registered kernel engines against each
+other.
 
-The bitset kernel layer (:mod:`repro.kernels`) re-implements the hot
-path of MDC/DCC/MBC*/PF* on int-mask adjacency.  Both engines must
-agree on every *optimum* (clique sizes, polarization factors) on a
-broad family of seeded random signed graphs; the returned cliques may
-differ between engines when several optima exist, so each is validated
-structurally via ``BalancedClique.from_vertices`` instead of compared
-vertex-by-vertex.
+The kernel layer (:mod:`repro.kernels`) re-implements the hot path of
+MDC/DCC/MBC*/PF* once per registered backend: ``bitset`` on int-mask
+adjacency and ``numpy`` on uint64 mask matrices, both against the
+``set`` reference.  All available engines must agree on every
+*optimum* (clique sizes, polarization factors) on a broad family of
+seeded random signed graphs; the returned cliques may differ between
+the set engine and the mask engines when several optima exist, so each
+is validated structurally via ``BalancedClique.from_vertices`` instead
+of compared vertex-by-vertex.  The bitset and numpy engines share the
+same lowest-id tie-breaks, so *their* witnesses are compared exactly.
 
 A second group pins the kernel primitives themselves against their
-set-based reference implementations on random dichromatic graphs.
+set-based reference implementations on random dichromatic graphs, and
+a third does the same for the vectorised numpy kernels against the
+bitset primitives.  The engine axis is taken from the backend registry
+(:data:`repro.kernels.ENGINE_REGISTRY` via
+``tests.conftest.SOLVER_ENGINES``), so a new backend joins every
+matrix by registering itself.
 """
 
 import random
@@ -22,17 +31,23 @@ from repro.core.pf import pf_binary_search, pf_star
 from repro.core.reductions import edge_reduction, edge_reduction_fast
 from repro.core.result import BalancedClique
 from repro.dichromatic.build import build_dichromatic_network, \
-    build_dichromatic_network_bits
+    build_dichromatic_network_bits, build_dichromatic_network_matrix
 from repro.dichromatic.cores import bicore_active, \
     coloring_upper_bound_active, k_core_active
+from repro.dichromatic.dcc import dichromatic_clique_witness
 from repro.dichromatic.graph import DichromaticGraph
-from repro.kernels import validate_engine
+from repro.dichromatic.mdc import solve_mdc
+from repro.kernels import ENGINE_REGISTRY, ENGINES, EngineSpec, \
+    available_engines, engine_spec, npmask, register_engine, \
+    validate_engine
 from repro.kernels.active import bicore_active_mask, \
     coloring_upper_bound_active_mask, degeneracy_ordering_mask, \
     degree_in_active, intersect_active, k_core_active_mask
-from repro.kernels.bitset import bits_of, mask_of
+from repro.kernels.bitset import bits_of, mask_of, masks_to_bytes
 from repro.signed.graph import SignedGraph
 from repro.unsigned.graph import UnsignedGraph
+
+from .conftest import PARALLEL_ENGINES, SOLVER_ENGINES, requires_numpy
 
 
 def random_signed_graph(seed: int) -> SignedGraph:
@@ -78,20 +93,22 @@ class TestMbcStarDifferential:
         graph = random_signed_graph(seed)
         tau = seed % 4
         by_set = mbc_star(graph, tau, engine="set")
-        by_bitset = mbc_star(graph, tau, engine="bitset")
-        assert by_set.size == by_bitset.size
         assert_valid(by_set, graph, tau)
-        assert_valid(by_bitset, graph, tau)
+        for engine in SOLVER_ENGINES:
+            result = mbc_star(graph, tau, engine=engine)
+            assert result.size == by_set.size, engine
+            assert_valid(result, graph, tau)
 
     @pytest.mark.parametrize("seed", [3, 11, 27])
     def test_check_only_agrees_on_feasibility(self, seed):
         graph = random_signed_graph(seed)
         for tau in range(4):
             by_set = mbc_star(graph, tau, check_only=True, engine="set")
-            by_bitset = mbc_star(
-                graph, tau, check_only=True, engine="bitset")
-            assert by_set.is_empty == by_bitset.is_empty
-            assert_valid(by_bitset, graph, tau)
+            for engine in SOLVER_ENGINES:
+                result = mbc_star(
+                    graph, tau, check_only=True, engine=engine)
+                assert by_set.is_empty == result.is_empty, engine
+                assert_valid(result, graph, tau)
 
     def test_unknown_engine_rejected(self):
         graph = random_signed_graph(0)
@@ -101,28 +118,78 @@ class TestMbcStarDifferential:
             validate_engine("")
 
 
+class TestEngineRegistry:
+    """The backend registry behind the ``engine=`` seam."""
+
+    def test_engines_tuple_mirrors_registry(self):
+        assert ENGINES == tuple(ENGINE_REGISTRY)
+        assert set(available_engines()) <= set(ENGINES)
+        # set and bitset have no runtime requirement — always usable.
+        assert {"set", "bitset"} <= set(available_engines())
+
+    def test_capability_descriptors(self):
+        assert not engine_spec("set").supports_parallel
+        assert engine_spec("bitset").supports_parallel
+        assert engine_spec("numpy").supports_parallel
+        # The optional backend must name its requirement for the
+        # unavailable-engine error message.
+        assert engine_spec("numpy").requirement
+
+    def test_unknown_engine_lookup_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_spec("bitmap")
+
+    def test_numpy_availability_follows_probe(self):
+        assert engine_spec("numpy").available() == npmask.HAVE_NUMPY
+
+    def test_unavailable_engine_error_names_requirement(self):
+        stub = register_engine(EngineSpec(
+            name="stub-backend",
+            description="always-unavailable test backend",
+            representation="-",
+            supports_parallel=False,
+            probe=lambda: False,
+            requirement="the stub runtime"))
+        try:
+            assert not stub.available()
+            with pytest.raises(ValueError,
+                               match="requires the stub runtime"):
+                validate_engine("stub-backend")
+        finally:
+            del ENGINE_REGISTRY["stub-backend"]
+
+    def test_serial_only_engine_rejected_for_fanout(self):
+        graph = random_signed_graph(1)
+        with pytest.raises(ValueError, match="serial-only"):
+            mbc_star(graph, 1, engine="set", parallel=2)
+
+
 class TestPfDifferential:
     @pytest.mark.parametrize("seed", range(0, 50, 2))
     def test_pf_star_same_factor(self, seed):
         graph = random_signed_graph(seed)
         by_set = pf_star(graph, engine="set")
-        by_bitset, witness = pf_star(
-            graph, engine="bitset", return_witness=True)
-        assert by_set == by_bitset
-        assert_valid(witness, graph, 0)
-        assert witness.polarization == by_bitset
+        for engine in SOLVER_ENGINES:
+            beta, witness = pf_star(
+                graph, engine=engine, return_witness=True)
+            assert beta == by_set, engine
+            assert_valid(witness, graph, 0)
+            assert witness.polarization == beta
 
     @pytest.mark.parametrize("seed", range(1, 40, 4))
     def test_pf_binary_search_same_factor(self, seed):
         graph = random_signed_graph(seed)
-        assert pf_binary_search(graph, engine="set") == \
-            pf_binary_search(graph, engine="bitset")
+        by_set = pf_binary_search(graph, engine="set")
+        for engine in SOLVER_ENGINES:
+            assert pf_binary_search(graph, engine=engine) == by_set
 
     @pytest.mark.parametrize("seed", [5, 17])
     def test_pf_star_dorder_variant(self, seed):
         graph = random_signed_graph(seed)
-        assert pf_star(graph, ordering="degeneracy", engine="set") == \
-            pf_star(graph, ordering="degeneracy", engine="bitset")
+        by_set = pf_star(graph, ordering="degeneracy", engine="set")
+        for engine in SOLVER_ENGINES:
+            assert pf_star(graph, ordering="degeneracy",
+                           engine=engine) == by_set
 
 
 class TestGmbcDifferential:
@@ -130,12 +197,13 @@ class TestGmbcDifferential:
     def test_same_profile(self, seed):
         graph = random_signed_graph(seed)
         by_set = gmbc_star(graph, engine="set")
-        by_bitset = gmbc_star(graph, engine="bitset")
-        # results[tau] is the maximum for threshold tau.
-        assert len(by_set) == len(by_bitset)
-        for tau, clique in enumerate(by_bitset):
-            assert by_set[tau].size == clique.size
-            assert_valid(clique, graph, tau)
+        for engine in SOLVER_ENGINES:
+            results = gmbc_star(graph, engine=engine)
+            # results[tau] is the maximum for threshold tau.
+            assert len(by_set) == len(results), engine
+            for tau, clique in enumerate(results):
+                assert by_set[tau].size == clique.size
+                assert_valid(clique, graph, tau)
 
 
 class TestWorkerMatrix:
@@ -143,42 +211,46 @@ class TestWorkerMatrix:
 
     workers=1 is the serial sweep; 2 and 4 fan out (in-process below
     ``MIN_POOL_TASKS``, real pools above it — both code paths are
-    covered because the random graphs straddle the threshold).  All
-    cells must report identical optimum sizes with structurally valid
-    witnesses.
+    covered because the random graphs straddle the threshold).  The
+    engine axis covers every available parallel-capable backend
+    (bitset, plus numpy when installed).  All cells must report
+    identical optimum sizes with structurally valid witnesses.
     """
 
     WORKERS = [1, 2, 4]
 
+    @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
     @pytest.mark.parametrize("seed", range(0, 24, 3))
-    def test_mbc_star_same_optimum(self, seed):
+    def test_mbc_star_same_optimum(self, seed, engine):
         graph = random_signed_graph(seed)
         tau = seed % 4
         reference = mbc_star(graph, tau, engine="set")
         for workers in self.WORKERS:
-            clique = mbc_star(graph, tau, engine="bitset",
+            clique = mbc_star(graph, tau, engine=engine,
                               parallel=workers)
             assert clique.size == reference.size
             assert_valid(clique, graph, tau)
 
+    @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
     @pytest.mark.parametrize("seed", range(1, 24, 5))
-    def test_pf_star_same_factor(self, seed):
+    def test_pf_star_same_factor(self, seed, engine):
         graph = random_signed_graph(seed)
         reference = pf_star(graph, engine="set")
         for workers in self.WORKERS:
-            beta, witness = pf_star(graph, engine="bitset",
+            beta, witness = pf_star(graph, engine=engine,
                                     parallel=workers,
                                     return_witness=True)
             assert beta == reference
             assert_valid(witness, graph, 0)
             assert witness.polarization >= beta
 
+    @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
     @pytest.mark.parametrize("seed", [4, 13])
-    def test_gmbc_star_same_profile(self, seed):
+    def test_gmbc_star_same_profile(self, seed, engine):
         graph = random_signed_graph(seed)
         reference = [c.size for c in gmbc_star(graph, engine="set")]
         for workers in self.WORKERS:
-            results = gmbc_star(graph, engine="bitset",
+            results = gmbc_star(graph, engine=engine,
                                 parallel=workers)
             assert [c.size for c in results] == reference
             for tau, clique in enumerate(results):
@@ -305,6 +377,162 @@ class TestKernelPrimitives:
             graph.num_vertices, graph.edges())
         from repro.unsigned.cores import degeneracy as set_degeneracy
         assert degeneracy == set_degeneracy(unsigned)
+
+
+@requires_numpy
+class TestNumpyKernelPrimitives:
+    """The vectorised npmask kernels against the bitset primitives.
+
+    Bitset is itself pinned against the set references above, so
+    matching it transitively matches the originals; rows and matrices
+    are compared through their canonical int-mask images.
+    """
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_intersection_degree_and_row_codec(self, seed):
+        graph = random_dichromatic_graph(seed)
+        n = graph.num_vertices
+        adj = graph.adjacency_bits()
+        mat = graph.adjacency_matrix()
+        rng = random.Random(seed)
+        active = set(rng.sample(range(n), rng.randint(0, n)))
+        active_mask = mask_of(active)
+        active_row = npmask.row_from_mask(active_mask, n)
+        assert npmask.mask_from_row(active_row) == active_mask
+        assert npmask.row_count(active_row) == len(active)
+        assert list(npmask.row_indices(active_row, n)) == \
+            sorted(active)
+        for v in graph.vertices():
+            got = npmask.intersect_active(mat, v, active_row)
+            assert npmask.mask_from_row(got) == \
+                intersect_active(adj, v, active_mask)
+            assert npmask.degree_in_active(mat, v, active_row) == \
+                degree_in_active(adj, v, active_mask)
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_k_core(self, seed, k):
+        graph = random_dichromatic_graph(seed)
+        expected = k_core_active_mask(
+            graph.adjacency_bits(), k, graph.all_bits())
+        got = npmask.k_core_active(
+            graph.adjacency_matrix(), k, graph.all_row())
+        assert npmask.mask_from_row(got) == expected
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("taus", [(0, 0), (1, 2), (2, 2), (3, 1)])
+    def test_bicore(self, seed, taus):
+        graph = random_dichromatic_graph(seed)
+        tau_l, tau_r = taus
+        expected = bicore_active_mask(
+            graph.adjacency_bits(), graph.left_bits(), tau_l, tau_r,
+            graph.all_bits())
+        got = npmask.bicore_active(
+            graph.adjacency_matrix(), graph.left_row(), tau_l, tau_r,
+            graph.all_row())
+        assert npmask.mask_from_row(got) == expected
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_coloring_bound_is_valid_clique_bound(self, seed):
+        graph = random_dichromatic_graph(seed)
+        bound = npmask.coloring_upper_bound_active(
+            graph.adjacency_matrix(), graph.all_row())
+        assert bound >= _max_clique_size(graph)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_degeneracy_ordering_is_valid(self, seed):
+        graph = random_dichromatic_graph(seed)
+        adj = graph.adjacency_bits()
+        order = npmask.degeneracy_ordering(
+            graph.adjacency_matrix(), graph.all_row())
+        assert sorted(order) == list(graph.vertices())
+        remaining = graph.all_bits()
+        degeneracy = 0
+        for v in order:
+            remaining &= ~(1 << v)
+            degeneracy = max(
+                degeneracy, (adj[v] & remaining).bit_count())
+        mask_order = degeneracy_ordering_mask(adj, graph.all_bits())
+        remaining = graph.all_bits()
+        reference = 0
+        for v in mask_order:
+            remaining &= ~(1 << v)
+            reference = max(
+                reference, (adj[v] & remaining).bit_count())
+        assert degeneracy == reference
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matrix_blob_round_trip(self, seed):
+        # Wire-format compatibility: a numpy matrix serialises to the
+        # exact bytes masks_to_bytes produces, and rebuilds from them.
+        graph = random_dichromatic_graph(seed)
+        n = graph.num_vertices
+        adj = graph.adjacency_bits()
+        mat = graph.adjacency_matrix()
+        blob = npmask.matrix_to_bytes(mat, n)
+        assert blob == masks_to_bytes(adj, n)
+        rebuilt = npmask.matrix_from_bytes(blob, n)
+        assert npmask.masks_from_matrix(rebuilt, n) == adj
+
+    def test_matrix_from_bytes_validates_length(self):
+        with pytest.raises(ValueError):
+            npmask.matrix_from_bytes(b"\x00", 9)
+
+    def test_swar_popcount_fallback(self, monkeypatch):
+        # Force the pre-numpy-2.0 path: popcounts must still be exact.
+        monkeypatch.setattr(npmask, "_BITWISE_COUNT", None)
+        rng = random.Random(42)
+        for n in (0, 1, 63, 64, 65, 130):
+            mask = rng.getrandbits(n) if n else 0
+            row = npmask.row_from_mask(mask, n)
+            assert npmask.row_count(row) == mask.bit_count()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_network_builder_matches_bitset(self, seed):
+        graph = random_signed_graph(seed)
+        rng = random.Random(seed + 500)
+        u = rng.randrange(graph.num_vertices)
+        by_bits = build_dichromatic_network_bits(graph, u)
+        by_np = build_dichromatic_network_matrix(graph, u)
+        assert by_bits.origin == by_np.origin
+        assert by_bits.is_left == by_np.is_left
+        assert sorted(by_bits.edges()) == sorted(by_np.edges())
+
+
+@requires_numpy
+class TestNumpyWitnessParity:
+    """bitset and numpy share tie-breaks, so their witnesses must be
+    *identical*, not merely size-equal."""
+
+    @pytest.mark.parametrize("seed", range(0, 40, 2))
+    def test_mdc_identical_witness(self, seed):
+        graph = random_dichromatic_graph(seed)
+        for taus in [(0, 0), (1, 1), (2, 1), (1, 3)]:
+            for must_exceed in (0, 2):
+                by_bits = solve_mdc(graph, *taus, must_exceed,
+                                    engine="bitset")
+                by_np = solve_mdc(graph, *taus, must_exceed,
+                                  engine="numpy")
+                assert by_bits == by_np, (seed, taus, must_exceed)
+
+    @pytest.mark.parametrize("seed", range(0, 40, 2))
+    def test_dcc_identical_witness(self, seed):
+        graph = random_dichromatic_graph(seed)
+        for taus in [(0, 0), (1, 1), (2, 2), (3, 1)]:
+            by_bits = dichromatic_clique_witness(
+                graph, *taus, engine="bitset")
+            by_np = dichromatic_clique_witness(
+                graph, *taus, engine="numpy")
+            assert by_bits == by_np, (seed, taus)
+
+    @pytest.mark.parametrize("seed", range(0, 30, 3))
+    def test_mbc_star_identical_witness(self, seed):
+        graph = random_signed_graph(seed)
+        tau = seed % 3
+        by_bits = mbc_star(graph, tau, engine="bitset")
+        by_np = mbc_star(graph, tau, engine="numpy")
+        assert by_bits.left == by_np.left
+        assert by_bits.right == by_np.right
 
 
 def _max_clique_size(graph: DichromaticGraph) -> int:

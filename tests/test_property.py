@@ -3,9 +3,10 @@
 The strongest correctness statement the repo can make: on a seeded
 family of ~200 small random signed graphs, the optimized solvers, the
 enumeration baseline, and the exponential brute-force oracle must all
-agree on every optimum — across both adjacency engines, across worker
-counts, and with tracing on or off (observability must never perturb a
-result).
+agree on every optimum — across every available kernel engine from the
+backend registry (set, bitset, and numpy when installed), across
+worker counts, and with tracing on or off (observability must never
+perturb a result).
 
 The seed family is shifted by ``REPRO_PROPERTY_SEED`` (default 0), so
 CI runs the harness on disjoint seed windows without any test edit:
@@ -35,6 +36,8 @@ from repro.obs import get_tracer
 from repro.signed.graph import SignedGraph
 from repro.unsigned.graph import UnsignedGraph
 from repro.unsigned.ordering import degeneracy_ordering
+
+from .conftest import PARALLEL_ENGINES, SOLVER_ENGINES
 
 #: Base of this run's seed window (CI varies it per matrix job).
 BASE_SEED = int(os.environ.get("REPRO_PROPERTY_SEED", "0"))
@@ -83,7 +86,7 @@ class TestMbcDifferential:
         assert baseline.size == oracle.size
         assert_valid(baseline, graph, tau)
 
-        for engine in ("set", "bitset"):
+        for engine in SOLVER_ENGINES:
             for trace in (None, get_tracer(True)):
                 result = mbc_star(graph, tau, engine=engine,
                                   trace=trace)
@@ -100,11 +103,12 @@ class TestMbcDifferential:
         graph = random_graph(seed)
         tau = seed % 3
         serial = mbc_star(graph, tau, engine="bitset")
-        for trace in (None, get_tracer(True)):
-            fanned = mbc_star(graph, tau, engine="bitset", parallel=2,
-                              trace=trace)
-            assert fanned.size == serial.size
-            assert_valid(fanned, graph, tau)
+        for engine in PARALLEL_ENGINES:
+            for trace in (None, get_tracer(True)):
+                fanned = mbc_star(graph, tau, engine=engine,
+                                  parallel=2, trace=trace)
+                assert fanned.size == serial.size, engine
+                assert_valid(fanned, graph, tau)
 
 
 class TestPfDifferential:
@@ -113,10 +117,20 @@ class TestPfDifferential:
     def test_pf_star_matches_oracle(self, seed):
         graph = random_graph(seed)
         oracle = brute_force_polarization_factor(graph)
-        for engine in ("set", "bitset"):
+        for engine in SOLVER_ENGINES:
             for trace in (None, get_tracer(True)):
                 assert pf_star(graph, engine=engine,
                                trace=trace) == oracle
+
+    @pytest.mark.parametrize(
+        "seed",
+        range(BASE_SEED, BASE_SEED + SWEEP, SWEEP // PARALLEL_SAMPLE))
+    def test_parallel_workers_agree(self, seed):
+        graph = random_graph(seed)
+        serial = pf_star(graph, engine="bitset")
+        for engine in PARALLEL_ENGINES:
+            assert pf_star(graph, engine=engine,
+                           parallel=2) == serial, engine
 
 
 class TestDeterminism:
@@ -125,7 +139,7 @@ class TestDeterminism:
     def test_repeated_solves_return_identical_cliques(self, seed):
         graph = random_graph(seed)
         tau = seed % 3
-        for engine in ("set", "bitset"):
+        for engine in SOLVER_ENGINES:
             first = mbc_star(graph, tau, engine=engine)
             second = mbc_star(graph, tau, engine=engine)
             assert first.vertices == second.vertices
@@ -139,11 +153,30 @@ class TestDeterminism:
         size but the exact witness must match the untraced run."""
         graph = random_graph(seed)
         tau = seed % 3
-        for engine in ("set", "bitset"):
+        for engine in SOLVER_ENGINES:
             plain = mbc_star(graph, tau, engine=engine)
             traced = mbc_star(graph, tau, engine=engine,
                               trace=get_tracer(True))
             assert traced.vertices == plain.vertices
+
+    @pytest.mark.parametrize(
+        "seed", range(BASE_SEED, BASE_SEED + SWEEP, 10))
+    def test_mask_engines_return_identical_cliques(self, seed):
+        """bitset and numpy share every tie-break (lowest vertex id),
+        so at the same worker count they must return the *same
+        witness*, not just the same size.  (The parallel sweep plans
+        tasks in cost order, so a fan-out witness may legitimately
+        differ from the serial one — the comparison is per cell.)"""
+        graph = random_graph(seed)
+        tau = seed % 3
+        for workers in (1, 2):
+            reference = mbc_star(graph, tau, engine="bitset",
+                                 parallel=workers)
+            for engine in PARALLEL_ENGINES:
+                result = mbc_star(graph, tau, engine=engine,
+                                  parallel=workers)
+                assert result.vertices == reference.vertices, (
+                    f"seed={seed} engine={engine} workers={workers}")
 
 
 class TestOrderingRegression:

@@ -281,3 +281,50 @@ class TestPropertyBased:
     def test_copy_equals_original(self, graph):
         clone = graph.copy()
         assert sorted(clone.edges()) == sorted(graph.edges())
+
+
+class TestFingerprint:
+    def test_stable_across_calls_and_copies(self):
+        graph = SignedGraph.from_signed_edges(
+            4, [(0, 1, 1), (1, 2, -1), (2, 3, 1)])
+        first = graph.fingerprint()
+        assert first == graph.fingerprint()
+        assert graph.copy().fingerprint() == first
+
+    def test_independent_of_insertion_order(self):
+        forward = SignedGraph(3)
+        forward.add_edge(0, 1, POSITIVE)
+        forward.add_edge(1, 2, NEGATIVE)
+        backward = SignedGraph(3)
+        backward.add_edge(1, 2, NEGATIVE)
+        backward.add_edge(0, 1, POSITIVE)
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_sensitive_to_content(self):
+        base = SignedGraph.from_signed_edges(3, [(0, 1, 1)])
+        flipped = SignedGraph.from_signed_edges(3, [(0, 1, -1)])
+        extra = SignedGraph.from_signed_edges(3, [(0, 1, 1), (1, 2, 1)])
+        bigger = SignedGraph.from_signed_edges(4, [(0, 1, 1)])
+        prints = {g.fingerprint() for g in (base, flipped, extra, bigger)}
+        assert len(prints) == 4
+
+    def test_mutation_invalidates_cache(self):
+        graph = SignedGraph.from_signed_edges(3, [(0, 1, 1)])
+        before = graph.fingerprint()
+        graph.add_edge(1, 2, NEGATIVE)
+        changed = graph.fingerprint()
+        assert changed != before
+        graph.remove_edge(1, 2)
+        assert graph.fingerprint() == before
+
+    def test_format_is_hex_sha256(self):
+        print_ = SignedGraph(0).fingerprint()
+        assert len(print_) == 64
+        assert set(print_) <= set("0123456789abcdef")
+
+    @given(signed_graphs(max_vertices=10))
+    @settings(max_examples=40, deadline=None)
+    def test_equal_content_equal_fingerprint(self, graph):
+        rebuilt = SignedGraph.from_signed_edges(
+            graph.num_vertices, sorted(graph.edges(), reverse=True))
+        assert rebuilt.fingerprint() == graph.fingerprint()
