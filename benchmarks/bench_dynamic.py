@@ -1,0 +1,179 @@
+"""Streaming benchmark — incremental ``solve()`` vs full re-solve.
+
+The dynamic solver's acceptance criterion: across seeded random
+single-edit scripts on real stand-in datasets, re-solving through the
+dirty-ego cache must beat a from-scratch ``mbc_star`` by a geometric
+mean of at least 5x — with the optimum cross-checked against the full
+solve after *every* edit, so the speedup is never bought with a wrong
+answer.
+
+Per dataset the harness primes a :class:`repro.dynamic.DynamicSolver`
+(the cold sweep, reported separately as ``initial_seconds``), then
+replays ``EDITS`` seeded random edits; after each it times the
+incremental ``solve()`` and a full ``mbc_star`` on the same live
+graph and asserts both return the same optimum size.
+
+Standalone mode writes ``BENCH_dynamic.json`` at the repo root
+(``python benchmarks/bench_dynamic.py``); CI re-validates the
+committed payload against :func:`validate_payload`.  The pytest
+target wires the steady-state edit-resolve loop into
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.mbc_star import mbc_star
+from repro.dynamic import DynamicSolver, apply_edit, random_edits
+
+try:
+    from ._common import BENCH_ENGINE, DEFAULT_TAU, bench_graph, \
+        format_seconds, print_table, run_once
+except ImportError:
+    from _common import BENCH_ENGINE, DEFAULT_TAU, bench_graph, \
+        format_seconds, print_table, run_once
+
+#: Real stand-in datasets the streaming criterion is measured on.
+BENCH_DATASETS = ("bitcoin", "adjwordnet", "referendum", "douban")
+
+#: Random single edits replayed per dataset.
+EDITS = 20
+
+#: Seed of the per-dataset edit scripts (offset by dataset index).
+SEED = 2022
+
+#: Acceptance threshold on the geometric-mean speedup.
+MIN_GEOMEAN_SPEEDUP = 5.0
+
+
+def _bench_dataset(name: str, seed: int) -> dict:
+    """Replay one edit script; returns the payload row."""
+    graph = bench_graph(name)
+    started = time.perf_counter()
+    solver = DynamicSolver(graph, DEFAULT_TAU, engine=BENCH_ENGINE)
+    primed = solver.solve()
+    initial_seconds = time.perf_counter() - started
+    incremental = 0.0
+    full = 0.0
+    size = primed.clique.size
+    for edit in random_edits(graph, EDITS, seed=seed):
+        apply_edit(solver, edit)
+        started = time.perf_counter()
+        result = solver.solve()
+        incremental += time.perf_counter() - started
+        started = time.perf_counter()
+        reference = mbc_star(graph, DEFAULT_TAU, engine=BENCH_ENGINE)
+        full += time.perf_counter() - started
+        assert result.clique.size == reference.size, (
+            f"{name}: incremental {result.clique.size} != "
+            f"full {reference.size} after {edit.as_line()!r}")
+        size = result.clique.size
+    return {
+        "dataset": name,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "edits": EDITS,
+        "final_size": size,
+        "initial_seconds": round(initial_seconds, 6),
+        "incremental_seconds": round(incremental, 6),
+        "full_seconds": round(full, 6),
+        "speedup": round(full / incremental, 2) if incremental else
+        None,
+    }
+
+
+def collect() -> dict:
+    """The whole payload: per-dataset rows + the geomean criterion."""
+    rows = [_bench_dataset(name, SEED + index)
+            for index, name in enumerate(BENCH_DATASETS)]
+    speedups = [row["speedup"] for row in rows
+                if row["speedup"] is not None]
+    geomean = round(math.exp(
+        sum(math.log(s) for s in speedups) / len(speedups)), 2)
+    return {
+        "tau": DEFAULT_TAU,
+        "engine": BENCH_ENGINE,
+        "edits": EDITS,
+        "seed": SEED,
+        "datasets": rows,
+        "geomean_speedup": geomean,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema + acceptance check of a ``BENCH_dynamic.json`` payload.
+
+    Raises ``AssertionError`` on any violation; CI runs this against
+    the committed file so a drive-by edit cannot silently weaken the
+    record.
+    """
+    assert set(payload) == {
+        "tau", "engine", "edits", "seed", "datasets",
+        "geomean_speedup"}
+    assert payload["tau"] >= 1 and payload["edits"] >= 1
+    rows = payload["datasets"]
+    assert len(rows) >= 3, "criterion needs >= 3 real datasets"
+    for row in rows:
+        assert set(row) == {
+            "dataset", "n", "m", "edits", "final_size",
+            "initial_seconds", "incremental_seconds", "full_seconds",
+            "speedup"}
+        assert row["n"] > 0 and row["m"] > 0
+        assert row["incremental_seconds"] >= 0.0
+        assert row["full_seconds"] >= 0.0
+        assert row["speedup"] is None or row["speedup"] > 0.0
+    assert payload["geomean_speedup"] >= MIN_GEOMEAN_SPEEDUP, (
+        f"geomean speedup {payload['geomean_speedup']}x below the "
+        f"{MIN_GEOMEAN_SPEEDUP}x acceptance threshold")
+
+
+@pytest.mark.benchmark(group="dynamic")
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_dynamic_edit_resolve(benchmark, dataset):
+    """Steady state: one random edit, then the incremental re-solve."""
+    graph = bench_graph(dataset)
+    solver = DynamicSolver(graph, DEFAULT_TAU, engine=BENCH_ENGINE)
+    solver.solve()
+    edits = iter(random_edits(graph, 10_000, seed=SEED))
+
+    def step() -> int:
+        apply_edit(solver, next(edits))
+        return solver.solve().clique.size
+
+    size = run_once(benchmark, step)
+    assert size == mbc_star(graph, DEFAULT_TAU,
+                            engine=BENCH_ENGINE).size
+
+
+def main() -> None:
+    payload = collect()
+    print_table(
+        f"Incremental vs full re-solve (tau={DEFAULT_TAU}, "
+        f"engine={BENCH_ENGINE}, {EDITS} random edits)",
+        ["dataset", "n", "m", "prime", "incremental", "full",
+         "speedup"],
+        [[row["dataset"], row["n"], row["m"],
+          format_seconds(row["initial_seconds"]),
+          format_seconds(row["incremental_seconds"]),
+          format_seconds(row["full_seconds"]),
+          f"{row['speedup']:.1f}x"] for row in payload["datasets"]])
+    print(f"\nGEOMEAN speedup "
+          f"{payload['geomean_speedup']:.2f}x "
+          f"(threshold {MIN_GEOMEAN_SPEEDUP:.1f}x)")
+    validate_payload(payload)
+    if "--no-json" not in sys.argv:
+        out = Path(__file__).resolve().parent.parent / \
+            "BENCH_dynamic.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

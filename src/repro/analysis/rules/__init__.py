@@ -17,6 +17,7 @@ from .r007_annotations import AnnotationCompletenessRule
 from .r008_tracer_discipline import TracerDisciplineRule
 from .r009_pool_discipline import PoolDisciplineRule
 from .r010_vectorization import VectorizationDisciplineRule
+from .r011_dynamic_mutation import DynamicMutationRule
 
 __all__ = [
     "ALL_RULES",
@@ -31,6 +32,7 @@ __all__ = [
     "TracerDisciplineRule",
     "PoolDisciplineRule",
     "VectorizationDisciplineRule",
+    "DynamicMutationRule",
 ]
 
 ALL_RULES = (
@@ -44,6 +46,7 @@ ALL_RULES = (
     TracerDisciplineRule(),
     PoolDisciplineRule(),
     VectorizationDisciplineRule(),
+    DynamicMutationRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

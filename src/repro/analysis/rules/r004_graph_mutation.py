@@ -28,13 +28,15 @@ from .common import GRAPH_TYPE_NAMES, annotation_name
 
 __all__ = ["GraphArgumentMutationRule"]
 
-#: In-place mutators of the three graph substrates.
+#: In-place mutators of the three graph substrates (shared with R011,
+#: which polices the same methods inside ``repro.dynamic``).
 GRAPH_MUTATORS = frozenset({
-    "add_edge", "remove_edge", "add_vertex", "isolate_vertex",
-    "rate", "_invalidate_bits",
+    "add_edge", "remove_edge", "flip_sign", "add_vertex",
+    "isolate_vertex", "rate", "_invalidate_bits",
 })
 
-TARGET_PACKAGES = frozenset({"repro.core", "repro.dichromatic"})
+TARGET_PACKAGES = frozenset(
+    {"repro.core", "repro.dichromatic", "repro.dynamic"})
 
 
 def _graph_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:

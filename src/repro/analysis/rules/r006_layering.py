@@ -69,6 +69,10 @@ ALLOWED_PACKAGE_IMPORTS: dict[str, frozenset[str]] = {
         {"repro.kernels", "repro.signed", "repro.unsigned",
          "repro.dichromatic", "repro.metrics", "repro.parallel",
          "repro.obs", "repro.resilience"}),
+    "repro.dynamic": frozenset(
+        {"repro.kernels", "repro.signed", "repro.unsigned",
+         "repro.dichromatic", "repro.parallel", "repro.core",
+         "repro.obs", "repro.resilience"}),
     "repro.baselines": frozenset(
         {"repro.kernels", "repro.signed", "repro.unsigned",
          "repro.metrics", "repro.obs", "repro.resilience"}),

@@ -7,6 +7,9 @@ Installed as ``repro`` (also ``python -m repro``).  Subcommands:
 * ``repro pf GRAPH`` — polarization factor (alias ``pf-star``);
 * ``repro gmbc GRAPH`` — a maximum balanced clique for every tau
   (alias ``gmbc-star``);
+* ``repro dynamic GRAPH --edits FILE`` — stream an edit script
+  through the incremental solver, re-solving after every edit
+  (see ``docs/DYNAMIC.md``);
 * ``repro stats GRAPH`` — dataset statistics (Table I columns);
 * ``repro generate NAME OUT`` — write a stand-in dataset to a file;
 * ``repro lint [PATHS]`` — the repo-specific invariant linter
@@ -41,6 +44,7 @@ from .core.pf import pf_binary_search, pf_enumeration, pf_star
 from .core.result import SolveResult
 from .core.stats import SearchStats
 from .datasets.registry import dataset_names, load
+from .dynamic import DynamicSolver, apply_edit, parse_edit_script
 from .kernels import DEFAULT_ENGINE, ENGINES
 from .obs import Tracer, get_tracer, install_tracer, render_tree, \
     write_jsonl
@@ -117,6 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
     gmbc.add_argument(
         "--algorithm", choices=["star", "naive"], default="star")
     _add_engine_flag(gmbc)
+
+    dynamic = sub.add_parser(
+        "dynamic",
+        help="incremental solving over a stream of edge edits")
+    dynamic.add_argument("graph", help="edge-list path or dataset:NAME")
+    dynamic.add_argument(
+        "--edits", required=True, metavar="FILE",
+        help="edit script ('add u v sign' / 'remove u v' / "
+             "'flip u v' lines); the solver re-solves after every "
+             "edit")
+    dynamic.add_argument("--tau", type=int, default=3,
+                         help="polarization constraint (default 3)")
+    dynamic.add_argument(
+        "--beta", action="store_true",
+        help="also report the polarization factor after each edit")
+    _add_engine_flag(dynamic)
 
     stats = sub.add_parser("stats", help="dataset statistics (Table I)")
     stats.add_argument("graph", help="edge-list path or dataset:NAME")
@@ -270,6 +290,60 @@ def _cmd_pf(args: argparse.Namespace) -> int:
     return _budget_epilogue(budget)
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    """Stream an edit script through the incremental solver.
+
+    ``--timeout``/``--max-nodes`` are *per-solve* budgets: every
+    re-solve after an edit gets a fresh one (the streaming contract
+    is a latency bound per edit, not per session).  The exit status
+    reports whether any solve was truncated.
+    """
+    graph = _load_graph(args.graph)
+    with open(args.edits, encoding="utf-8") as handle:
+        edits = parse_edit_script(handle.read())
+    tracer = _install_cli_tracer(args)
+    solver = DynamicSolver(graph, args.tau, engine=args.engine,
+                           parallel=args.workers)
+    any_truncated = False
+
+    def solve_once(prefix: str) -> None:
+        nonlocal any_truncated
+        budget = _build_budget(args)
+        result = solver.solve(budget)
+        line = f"{prefix} -> {result.clique.describe(graph)}"
+        if args.beta:
+            line += f"  beta(G) = {solver.beta(_build_budget(args))}"
+        print(line)
+        if budget is not None and budget.exhausted:
+            any_truncated = True
+
+    started = time.perf_counter()
+    try:
+        solve_once("initial".ljust(24))
+        for edit in edits:
+            changed = apply_edit(solver, edit)
+            suffix = "" if changed else " (no-op)"
+            solve_once(f"{edit.as_line()}{suffix}".ljust(24))
+    finally:
+        elapsed = time.perf_counter() - started
+        _report_trace(args, tracer)
+    summary = (f"edits: {len(edits)}  time: {elapsed:.3f}s  "
+               f"engine: {args.engine}")
+    if tracer is not None:
+        counters = tracer.counters_snapshot()
+        summary += (
+            f"  ego re-solves: "
+            f"{counters.get('dynamic.egos_resolved', 0)}  "
+            f"cache reuses: "
+            f"{counters.get('dynamic.egos_reused', 0)}")
+    print(summary)
+    if any_truncated:
+        print("status: at least one per-edit solve hit its budget — "
+              "those results are certified lower bounds")
+        return EXIT_BUDGET_EXHAUSTED
+    return 0
+
+
 def _cmd_gmbc(args: argparse.Namespace) -> int:
     budget = _build_budget(args)
     graph = _load_graph(args.graph)
@@ -374,6 +448,7 @@ _COMMANDS = {
     "pf-star": _cmd_pf,
     "gmbc": _cmd_gmbc,
     "gmbc-star": _cmd_gmbc,
+    "dynamic": _cmd_dynamic,
     "stats": _cmd_stats,
     "generate": _cmd_generate,
     "enum": _cmd_enum,

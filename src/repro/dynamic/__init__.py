@@ -1,0 +1,30 @@
+"""repro.dynamic — incremental solving over streaming signed graphs.
+
+The static solvers answer one question about one frozen graph.  This
+package answers the same question repeatedly while the graph mutates:
+:class:`DynamicSolver` wraps a live :class:`~repro.signed.graph.
+SignedGraph`, owns its mutation API (``add_edge`` / ``remove_edge`` /
+``flip_sign`` — lint rule R011 forbids touching the graph any other
+way inside this package), and keeps a per-vertex cache of certified
+ego-instance bounds so each ``solve()`` re-runs only the instances an
+edit could actually have changed.  See the module docstring of
+:mod:`repro.dynamic.solver` for the invalidation and certification
+arguments, and ``docs/DYNAMIC.md`` for the design write-up.
+
+:mod:`repro.dynamic.script` defines the tiny edit-script text format
+(``add u v sign`` / ``remove u v`` / ``flip u v``) shared by the CLI's
+``repro dynamic`` command, the streaming benchmark and the
+differential tests.
+"""
+
+from .script import Edit, apply_edit, parse_edit_script, random_edits
+from .solver import DynamicSolver, EgoEntry
+
+__all__ = [
+    "DynamicSolver",
+    "EgoEntry",
+    "Edit",
+    "apply_edit",
+    "parse_edit_script",
+    "random_edits",
+]

@@ -1,0 +1,149 @@
+"""The edit-script format: streaming mutations as plain text.
+
+One mutation per line, ``#`` comments and blank lines ignored::
+
+    add 3 7 -1      # insert a negative edge
+    add 2 9 +1      # insert a positive edge
+    remove 3 7
+    flip 2 9        # toggle the sign of an existing edge
+
+Signs accept ``1`` / ``+1`` / ``+`` and ``-1`` / ``-``.  The format is
+shared by ``repro dynamic --edits``, the streaming benchmark and the
+differential tests, so a failing random script can be saved and
+replayed verbatim through the CLI.
+
+:func:`random_edits` generates seeded scripts *against the live
+graph*: each edit is drawn valid for the current state, so the caller
+must apply it (through the :class:`~repro.dynamic.solver.
+DynamicSolver` mutation API) before drawing the next.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..signed.graph import NEGATIVE, POSITIVE, SignedGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .solver import DynamicSolver
+
+__all__ = ["Edit", "apply_edit", "parse_edit_script", "random_edits"]
+
+#: Accepted spellings of the sign token of ``add`` lines.
+_SIGN_TOKENS = {
+    "1": POSITIVE, "+1": POSITIVE, "+": POSITIVE,
+    "-1": NEGATIVE, "-": NEGATIVE,
+}
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One parsed edit: ``kind`` is ``add`` / ``remove`` / ``flip``;
+    ``sign`` is meaningful for ``add`` only."""
+
+    kind: str
+    u: int
+    v: int
+    sign: int = POSITIVE
+
+    def as_line(self) -> str:
+        """The script line that parses back to this edit."""
+        if self.kind == "add":
+            return f"add {self.u} {self.v} {self.sign:+d}"
+        return f"{self.kind} {self.u} {self.v}"
+
+
+def parse_edit_script(text: str) -> list[Edit]:
+    """Parse a whole script; raises ``ValueError`` with the offending
+    line number on malformed input."""
+    edits: list[Edit] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        try:
+            if kind == "add":
+                if len(tokens) != 4 or tokens[3] not in _SIGN_TOKENS:
+                    raise ValueError
+                edits.append(Edit("add", int(tokens[1]),
+                                  int(tokens[2]),
+                                  _SIGN_TOKENS[tokens[3]]))
+            elif kind in ("remove", "flip"):
+                if len(tokens) != 3:
+                    raise ValueError
+                edits.append(Edit(kind, int(tokens[1]),
+                                  int(tokens[2])))
+            else:
+                raise ValueError
+        except ValueError:
+            raise ValueError(
+                f"edit script line {number}: cannot parse "
+                f"{raw.strip()!r} (expected 'add u v sign', "
+                f"'remove u v' or 'flip u v')") from None
+    return edits
+
+
+def apply_edit(solver: "DynamicSolver", edit: Edit) -> bool:
+    """Apply one edit through the solver's guarded mutation API.
+
+    Returns whether the graph actually changed (an ``add`` of an
+    existing same-sign edge is a no-op).
+    """
+    # These dispatch *into* the guarded DynamicSolver API — the route
+    # R011 exists to funnel mutations through — not around it.
+    if edit.kind == "add":
+        return solver.add_edge(edit.u, edit.v, edit.sign)  # repro: noqa R011
+    if edit.kind == "remove":
+        solver.remove_edge(edit.u, edit.v)  # repro: noqa R011
+        return True
+    if edit.kind == "flip":
+        solver.flip_sign(edit.u, edit.v)  # repro: noqa R011
+        return True
+    raise ValueError(f"unknown edit kind {edit.kind!r}")
+
+
+def random_edits(graph: SignedGraph, count: int,
+                 seed: int = 0) -> Iterator[Edit]:
+    """Yield ``count`` seeded random edits, each valid for the graph
+    state *at yield time* — apply each before drawing the next.
+
+    Mixes insertions (uniform random free pair, random sign),
+    removals and sign flips (uniform random existing edge) roughly
+    2:1:1, degrading gracefully when a kind is unavailable (empty or
+    complete graphs).
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    for _ in range(count):
+        kinds: list[str] = []
+        if graph.num_edges > 0:
+            kinds.extend(["remove", "flip"])
+        if n >= 2:
+            kinds.extend(["add", "add"])
+        if not kinds:
+            return
+        kind = rng.choice(kinds)
+        if kind == "add":
+            edit = None
+            for _attempt in range(64):
+                u = rng.randrange(n)
+                v = rng.randrange(n)
+                if u != v and not graph.has_edge(u, v):
+                    edit = Edit("add", u, v,
+                                rng.choice((POSITIVE, NEGATIVE)))
+                    break
+            if edit is None:
+                # Dense graph: fall back to editing an existing edge.
+                if graph.num_edges == 0:
+                    return
+                kind = rng.choice(("remove", "flip"))
+        if kind != "add":
+            edges = sorted(graph.edges())
+            u, v, _sign = edges[rng.randrange(len(edges))]
+            edit = Edit(kind, u, v)
+        assert edit is not None
+        yield edit

@@ -1,0 +1,655 @@
+"""The incremental dynamic solver: dirty-ego invalidation + bound cache.
+
+:class:`DynamicSolver` wraps a mutable :class:`~repro.signed.graph.
+SignedGraph` and keeps the answer to "what is the maximum structural
+balanced clique *now*?" cheap to re-ask as the graph streams edits.
+The static MBC* sweep (:func:`repro.core.mbc_star.mbc_star`) already
+decomposes the problem into one *ego instance* per vertex ``u`` — the
+maximum balanced clique whose lowest-ranked member is ``u``, searched
+over ``u``'s higher-ranked neighbours — and the global optimum is the
+best anchored optimum over all ``u``.  The dynamic solver makes that
+decomposition *persistent*:
+
+* a fixed degeneracy order over **all** vertices is computed once at
+  construction.  Any fixed order keeps the decomposition exhaustive
+  (every clique has a unique lowest-ranked member), so the order never
+  needs to track edits — only the per-ego answers do;
+* per vertex ``u`` an :class:`EgoEntry` caches certified bounds
+  ``lower <= val(u) <= upper`` plus the witness clique backing
+  ``lower``.  Bounds come from the exhaustive-above-floor contract of
+  :func:`repro.dichromatic.mdc.solve_mdc` and are unconditionally
+  certified (see :func:`repro.parallel.worker.run_dynamic_chunk`), so
+  they survive budget truncation and pool failures;
+* an edit ``(u, v)`` invalidates exactly the ego instances whose
+  candidate cliques can contain both endpoints: a clique through
+  ``u`` and ``v`` anchored at ``w`` needs ``u, v ∈ N[w]``, i.e.
+  ``w ∈ (N(u) ∩ N(v)) ∪ {u, v}``.  That dirty set is three mask ``&``
+  / ``|`` ops on the solver's incrementally-maintained adjacency bits
+  — never a graph scan;
+* :meth:`DynamicSolver.solve` refreshes the dirty entries (cheap
+  candidate-count bounds + witness revalidation), then re-solves only
+  the entries whose cached upper bound can still beat the surviving
+  incumbent.  Clean entries are pruned by their cached bounds alone.
+  When *no* entry can beat the incumbent the solve is skipped
+  entirely and the cached result returned.
+
+The re-solve queue deliberately ranges over **all** entries, not just
+the dirty ones: a removal can destroy the old optimum, which *lowers*
+the bar and may re-expose clean entries whose cached upper bound was
+previously beaten.  Their bounds are still certified (their egos did
+not change), so re-running them is the bound cache working as
+intended, not an invalidation bug.
+
+:meth:`DynamicSolver.beta` maintains the analogous per-ego cache for
+the polarization factor ``beta(G) = max_C min(|C_L|, |C_R|)`` with a
+bar-raising loop over cached ``gamma`` bounds (the dynamic counterpart
+of PF*'s DCC sweep; see ``docs/DYNAMIC.md``).
+
+Mutations **must** go through :meth:`add_edge` / :meth:`remove_edge` /
+:meth:`flip_sign` (lint rule R011 enforces this inside the package):
+they keep the solver's adjacency bits, the graph's incremental
+fingerprint and the dirty sets in lockstep.  Out-of-band edits to the
+wrapped graph are detected by fingerprint mismatch at the next
+``solve()``/``beta()`` and answered with a full (correct, cache-cold)
+rebuild.
+"""
+
+from __future__ import annotations
+
+from ..core.result import EMPTY_RESULT, BalancedClique, SolveResult
+from ..dichromatic.build import build_dichromatic_network
+from ..dichromatic.cores import coloring_upper_bound_active, \
+    k_core_active
+from ..dichromatic.dcc import dichromatic_clique_witness
+from ..dichromatic.mdc import solve_mdc
+from ..kernels import engine_spec, validate_engine
+from ..kernels.active import degeneracy_ordering_mask
+from ..obs import current_tracer
+from ..parallel.engine import dynamic_ego_fanout, resolve_workers
+from ..parallel.incumbent import SharedIncumbent
+from ..parallel.tasks import suffix_masks
+from ..parallel.worker import WorkerContext, _dcc_ego_bits, _dcc_ego_np
+from ..resilience.budget import Budget, BudgetExceeded
+from ..signed.graph import POSITIVE, SignedGraph
+from ..unsigned.ordering import HigherRanked
+
+__all__ = ["DynamicSolver", "EgoEntry"]
+
+
+class EgoEntry:
+    """Certified bounds for one cached ego instance.
+
+    ``lower <= val(u) <= upper`` where ``val(u)`` is the target
+    quantity anchored at ``u`` — the maximum tau-balanced clique size
+    for the solve cache, the maximum anchored polarization for the
+    gamma cache.  ``witness`` is the clique backing ``lower`` (``None``
+    iff ``lower == 0``); ``upper`` is certified by an exhaustive
+    search, a pruning bound, or the cheap candidate-count bound.
+    """
+
+    __slots__ = ("lower", "upper", "witness")
+
+    def __init__(self) -> None:
+        self.lower = 0
+        self.upper = 0
+        self.witness: BalancedClique | None = None
+
+
+class DynamicSolver:
+    """Incremental maximum-balanced-clique solver over a mutable graph.
+
+    Parameters mirror :func:`repro.core.mbc_star.mbc_star` where they
+    exist there.  ``tau >= 1`` is required: the ``tau = 0`` problem
+    degenerates to unsigned maximum clique with single-vertex bases,
+    which the ego decomposition's feasibility bounds do not model.
+
+    The solver takes ownership of mutations: edit the graph through
+    :meth:`add_edge` / :meth:`remove_edge` / :meth:`flip_sign` only.
+    ``solve()`` returns a :class:`~repro.core.result.SolveResult`
+    (anytime under a :class:`~repro.resilience.Budget`: truncated
+    solves return the certified incumbent, never cache an uncertified
+    bound, and resume where they stopped on the next call).
+    """
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        tau: int,
+        engine: str = "bitset",
+        parallel: int = 0,
+        use_core: bool = True,
+        use_coloring: bool = True,
+    ) -> None:
+        if tau < 1:
+            raise ValueError(
+                f"DynamicSolver requires tau >= 1, got {tau}")
+        validate_engine(engine)
+        workers = resolve_workers(parallel)
+        if workers > 1 and not engine_spec(engine).supports_parallel:
+            raise ValueError(
+                f"parallel execution requires an engine with parallel "
+                f"support; engine {engine!r} is serial-only")
+        self._graph = graph
+        self._tau = tau
+        self._engine = engine
+        self._workers = workers
+        self._use_core = use_core
+        self._use_coloring = use_coloring
+        self._rebuild()
+
+    # -- public state --------------------------------------------------
+
+    @property
+    def graph(self) -> SignedGraph:
+        """The wrapped (live) graph.  Mutate via the solver only."""
+        return self._graph
+
+    @property
+    def tau(self) -> int:
+        """The polarization constraint."""
+        return self._tau
+
+    @property
+    def dirty_count(self) -> int:
+        """Ego instances invalidated since the last ``solve()``."""
+        return len(self._dirty)
+
+    @property
+    def edits(self) -> int:
+        """Edits applied through the solver since construction."""
+        return self._edits
+
+    # -- construction / resync -----------------------------------------
+
+    def _rebuild(self) -> None:
+        """(Re)prime every cache from the current graph state.
+
+        Runs once at construction and again whenever an out-of-band
+        mutation is detected (fingerprint mismatch).  O(n + m) — the
+        price of bypassing the mutation API is a cold cache, not a
+        wrong answer.
+        """
+        graph = self._graph
+        n = graph.num_vertices
+        self._n = n
+        # Solver-owned adjacency bits, updated in place per edit; the
+        # graph's own lazy caches are invalidated by every mutation
+        # and would cost O(m) to rebuild per solve.
+        self._pos_bits = list(graph.pos_adjacency_bits())
+        self._neg_bits = list(graph.neg_adjacency_bits())
+        adjacency = [p | q for p, q in
+                     zip(self._pos_bits, self._neg_bits)]
+        full_mask = (1 << n) - 1
+        self._order = degeneracy_ordering_mask(adjacency, full_mask)
+        self._rank = {v: position
+                      for position, v in enumerate(self._order)}
+        self._allowed = suffix_masks(self._order)
+        self._entries = [EgoEntry() for _ in range(n)]
+        self._dirty: set[int] = set()
+        for u in range(n):
+            self._refresh_entry(u)
+        self._gamma: list[EgoEntry] | None = None
+        self._gamma_dirty: set[int] = set()
+        self._result: SolveResult | None = None
+        self._edits = 0
+        self._fingerprint = graph.fingerprint()
+
+    def _sync_external(self) -> None:
+        """Full rebuild if the graph was mutated behind our back."""
+        if self._graph.fingerprint() != self._fingerprint:
+            current_tracer().counter("dynamic.resyncs").inc()
+            self._rebuild()
+
+    # -- mutation API --------------------------------------------------
+
+    def add_edge(self, u: int, v: int, sign: int) -> bool:
+        """Insert edge ``(u, v)``; returns False for a same-sign
+        duplicate (a no-op, nothing is invalidated).
+
+        Raises exactly what :meth:`SignedGraph.add_edge` raises —
+        validation happens before any solver state is touched.
+        """
+        self._check_pair(u, v)
+        if u != v and self._graph.sign(u, v) == sign:
+            return False
+        with current_tracer().span("edit", kind="add", u=u, v=v):
+            self._graph.add_edge(u, v, sign)
+            bits = self._pos_bits if sign == POSITIVE else \
+                self._neg_bits
+            bits[u] |= 1 << v
+            bits[v] |= 1 << u
+            self._record_edit(u, v)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> int:
+        """Delete edge ``(u, v)``; returns the sign it had.
+
+        Raises ``KeyError`` when no edge joins ``u`` and ``v``.
+        """
+        self._check_pair(u, v)
+        sign = self._graph.sign(u, v)
+        with current_tracer().span("edit", kind="remove", u=u, v=v):
+            self._graph.remove_edge(u, v)  # raises if sign is None
+            bits = self._pos_bits if sign == POSITIVE else \
+                self._neg_bits
+            bits[u] &= ~(1 << v)
+            bits[v] &= ~(1 << u)
+            self._record_edit(u, v)
+        assert sign is not None
+        return sign
+
+    def flip_sign(self, u: int, v: int) -> int:
+        """Toggle the sign of edge ``(u, v)``; returns the new sign.
+
+        Raises ``KeyError`` when no edge joins ``u`` and ``v``.
+        """
+        self._check_pair(u, v)
+        with current_tracer().span("edit", kind="flip", u=u, v=v):
+            self._graph.flip_sign(u, v)  # raises if absent
+            new_sign = self._graph.sign(u, v)
+            source, target = (
+                (self._neg_bits, self._pos_bits)
+                if new_sign == POSITIVE
+                else (self._pos_bits, self._neg_bits))
+            source[u] &= ~(1 << v)
+            source[v] &= ~(1 << u)
+            target[u] |= 1 << v
+            target[v] |= 1 << u
+            self._record_edit(u, v)
+        assert new_sign is not None
+        return new_sign
+
+    def _check_pair(self, u: int, v: int) -> None:
+        """Reject out-of-range endpoints before anything mutates.
+
+        The graph's own mutators index adjacency lists directly, so a
+        negative id would silently wrap — and the solver's mask
+        updates must never run against ids its bit tables do not
+        cover.
+        """
+        n = self._n
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(
+                f"edge ({u}, {v}) out of range for n={n}")
+
+    def _record_edit(self, u: int, v: int) -> None:
+        """Mark the ego instances an edit of ``(u, v)`` can affect.
+
+        A clique through both endpoints anchored at ``w`` needs
+        ``u, v ∈ N[w]``, i.e. ``w`` a common neighbour of ``u`` and
+        ``v`` — or an endpoint itself.  The common-neighbour mask is
+        identical before and after editing the ``(u, v)`` edge itself
+        (``u ∉ N(u)``, and ``u ∈ N(v)`` only matters for ``w = u``,
+        covered explicitly), so marking after the bit update is safe.
+        """
+        self._edits += 1
+        self._fingerprint = self._graph.fingerprint()
+        self._result = None
+        adjacency_u = self._pos_bits[u] | self._neg_bits[u]
+        adjacency_v = self._pos_bits[v] | self._neg_bits[v]
+        rest = (adjacency_u & adjacency_v) | (1 << u) | (1 << v)
+        marked = 0
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            w = low.bit_length() - 1
+            self._dirty.add(w)
+            if self._gamma is not None:
+                self._gamma_dirty.add(w)
+            marked += 1
+        tracer = current_tracer()
+        tracer.counter("dynamic.edits").inc()
+        tracer.counter("dynamic.egos_invalidated").inc(marked)
+
+    # -- cache refresh -------------------------------------------------
+
+    def _revalidate(self, witness: BalancedClique,
+                    check_tau: bool) -> BalancedClique | None:
+        """Re-derive a cached witness against the current graph.
+
+        The vertex set and the (static) order pin the anchor, so only
+        cliqueness, balance, and (for the solve cache) the tau
+        constraint can have been broken by edits; sides are recomputed
+        because a sign flip can re-split a still-balanced clique.
+        """
+        try:
+            rebuilt = BalancedClique.from_vertices(
+                self._graph, witness.vertices)
+        except ValueError:
+            return None
+        if check_tau and not rebuilt.satisfies(self._tau):
+            return None
+        return rebuilt
+
+    def _refresh_entry(self, u: int) -> None:
+        """Recompute ``u``'s cheap certified bounds (mask ops only)."""
+        entry = self._entries[u]
+        allowed = self._allowed[u]
+        pos_count = (self._pos_bits[u] & allowed).bit_count()
+        neg_count = (self._neg_bits[u] & allowed).bit_count()
+        tau = self._tau
+        if pos_count < tau - 1 or neg_count < tau:
+            entry.upper = 0
+        else:
+            entry.upper = pos_count + neg_count + 1
+        witness = entry.witness
+        if witness is not None:
+            witness = self._revalidate(witness, check_tau=True)
+        entry.witness = witness
+        entry.lower = witness.size if witness is not None else 0
+
+    def _refresh_gamma(self, u: int) -> None:
+        """Recompute ``u``'s cheap gamma bounds (mask ops only)."""
+        assert self._gamma is not None
+        entry = self._gamma[u]
+        allowed = self._allowed[u]
+        pos_count = (self._pos_bits[u] & allowed).bit_count()
+        neg_count = (self._neg_bits[u] & allowed).bit_count()
+        # Anchored polarization: u's side has at most pos_count + 1
+        # members, the other side at most neg_count.
+        entry.upper = min(pos_count + 1, neg_count)
+        witness = entry.witness
+        if witness is not None:
+            witness = self._revalidate(witness, check_tau=False)
+        entry.witness = witness
+        entry.lower = (witness.polarization
+                       if witness is not None else 0)
+
+    def _best_witness(self) -> BalancedClique:
+        """The largest surviving cached witness (the live incumbent)."""
+        best = EMPTY_RESULT
+        for entry in self._entries:
+            witness = entry.witness
+            if witness is not None and witness.size > best.size:
+                best = witness
+        return best
+
+    # -- solve ---------------------------------------------------------
+
+    def solve(self, budget: Budget | None = None) -> SolveResult:
+        """The maximum balanced clique of the *current* graph.
+
+        Refreshes dirty entries, re-solves only the ego instances
+        whose certified upper bound beats the surviving incumbent,
+        and skips everything when none can.  Under a ``budget`` the
+        solve is anytime: unprocessed egos keep their (certified)
+        cheap bounds and are retried by the next call; a bound is
+        only ever cached when its certificate was delivered.
+        """
+        tracer = current_tracer()
+        self._sync_external()
+        with tracer.span(
+                "dynamic_solve", n=self._n, tau=self._tau,
+                engine=self._engine, dirty=len(self._dirty)) as span:
+            if not self._dirty and self._result is not None \
+                    and self._result.optimal:
+                tracer.counter("dynamic.solves_skipped").inc()
+                span.set(skipped=True, size=self._result.clique.size)
+                return self._result
+            for u in sorted(self._dirty):
+                self._refresh_entry(u)
+            self._dirty.clear()
+            best = self._best_witness()
+            required = max(best.size + 1, 2 * self._tau)
+            queue = [
+                u for u in reversed(self._order)
+                if self._entries[u].upper >= required
+                and self._entries[u].upper > self._entries[u].lower]
+            tracer.counter("dynamic.egos_reused").inc(
+                self._n - len(queue))
+            tracer.counter("dynamic.egos_resolved").inc(len(queue))
+            if not queue:
+                tracer.counter("dynamic.solves_skipped").inc()
+                result = SolveResult.capture(best, budget)
+                span.set(skipped=True, size=best.size)
+                self._result = result
+                return result
+            if self._engine == "set":
+                completed = self._solve_serial_set(
+                    queue, best.size, budget)
+            else:
+                completed = self._solve_fanout(
+                    queue, best.size, budget)
+            best = self._best_witness()
+            result = SolveResult.capture(best, budget)
+            span.set(size=best.size, resolved=len(queue),
+                     completed=completed)
+            self._result = result
+            return result
+
+    def _solve_fanout(self, queue: list[int], floor: int,
+                      budget: Budget | None) -> bool:
+        """Re-solve ``queue`` through the parallel dispatch machinery.
+
+        Runs in-process below the pool thresholds (including always at
+        ``workers == 1``), so bitset and numpy share one code path
+        with the pooled case.  Returns whether every queued ego was
+        processed; outcomes are committed as delivered either way.
+        """
+        work_estimate = 0
+        for u in queue:
+            allowed = self._allowed[u]
+            cost = (self._pos_bits[u] & allowed).bit_count() + \
+                (self._neg_bits[u] & allowed).bit_count()
+            work_estimate += cost * cost
+        outcomes, completed = dynamic_ego_fanout(
+            self._pos_bits, self._neg_bits, self._n, self._tau,
+            floor, queue, self._order, self._workers,
+            work_estimate=work_estimate, use_core=self._use_core,
+            use_coloring=self._use_coloring, budget=budget,
+            engine=self._engine)
+        for u, upper, members in outcomes:
+            entry = self._entries[u]
+            if members is None:
+                entry.upper = min(entry.upper, upper)
+                continue
+            left = {u}
+            right: set[int] = set()
+            for vertex, is_left in members:
+                (left if is_left else right).add(vertex)
+            witness = BalancedClique.from_sides(left, right)
+            entry.witness = witness
+            # solve_mdc is exhaustive above its floor, so a delivered
+            # witness pins val(u) exactly.
+            entry.lower = entry.upper = witness.size
+        return completed
+
+    def _solve_serial_set(self, queue: list[int], floor: int,
+                          budget: Budget | None) -> bool:
+        """Serial set-engine re-solve (the reference path).
+
+        Mirrors the MBC* serial sweep body, but commits a certified
+        upper bound per ego instead of only tracking the incumbent.
+        Returns whether every queued ego was processed.
+        """
+        graph = self._graph
+        tau = self._tau
+        tracer = current_tracer()
+        best_size = floor
+        for u in queue:
+            if budget is not None:
+                try:
+                    budget.check()
+                except BudgetExceeded:
+                    return False
+            entry = self._entries[u]
+            required = max(best_size + 1, 2 * tau)
+            if entry.upper < required:
+                continue
+            with tracer.span("ego", v=u) as ego:
+                allowed = HigherRanked(self._rank, self._rank[u])
+                network = build_dichromatic_network(graph, u, allowed)
+                if network.num_vertices + 1 < required:
+                    entry.upper = min(
+                        entry.upper, network.num_vertices + 1)
+                    ego.set(pruned="size")
+                    continue
+                active = set(network.vertices())
+                if self._use_core:
+                    active = k_core_active(
+                        network, required - 2, active)
+                if len(active) + 1 < required:
+                    # A clique of size required - 1 can live outside
+                    # the (required - 2)-core, so the prune certifies
+                    # required - 1 and nothing tighter.
+                    entry.upper = min(entry.upper, required - 1)
+                    ego.set(pruned="core")
+                    continue
+                if self._use_coloring:
+                    bound = coloring_upper_bound_active(
+                        network, active)
+                    if bound < required - 1:
+                        entry.upper = min(entry.upper, required - 1)
+                        ego.set(pruned="color")
+                        continue
+                try:
+                    found = solve_mdc(
+                        network, tau - 1, tau,
+                        must_exceed=required - 2, active=active,
+                        use_coloring=self._use_coloring,
+                        use_core=self._use_core, engine="set",
+                        budget=budget)
+                except BudgetExceeded:
+                    # Mid-instance truncation certifies nothing for
+                    # u: keep the cheap bound, retry next call.
+                    return False
+                ego.set(found=found is not None)
+                if found is None:
+                    entry.upper = min(entry.upper, required - 1)
+                    continue
+                left = {u}
+                right: set[int] = set()
+                for vertex in found:
+                    origin = network.origin[vertex]
+                    (left if network.is_left[vertex]
+                     else right).add(origin)
+                witness = BalancedClique.from_sides(left, right)
+                entry.witness = witness
+                entry.lower = entry.upper = witness.size
+                if witness.size > best_size:
+                    best_size = witness.size
+        return True
+
+    # -- beta ----------------------------------------------------------
+
+    def beta(self, budget: Budget | None = None) -> int:
+        """The polarization factor ``beta(G)`` of the current graph.
+
+        Maintains a second per-ego cache of certified gamma bounds
+        (the maximum anchored polarization), invalidated by the same
+        dirty events, and raises the bar with one DCC question per
+        step — each failure certifies an upper bound that outlives
+        the call.  Under a ``budget`` the returned bar is always
+        witness-certified (a valid lower bound on ``beta(G)``) and
+        the loop resumes from the cached bounds next call.
+        """
+        tracer = current_tracer()
+        self._sync_external()
+        with tracer.span("dynamic_beta", n=self._n,
+                         dirty=len(self._gamma_dirty)) as span:
+            if self._gamma is None:
+                self._gamma = [EgoEntry() for _ in range(self._n)]
+                self._gamma_dirty.clear()
+                for u in range(self._n):
+                    self._refresh_gamma(u)
+            else:
+                for u in sorted(self._gamma_dirty):
+                    self._refresh_gamma(u)
+                self._gamma_dirty.clear()
+            gamma = self._gamma
+            bar = 0
+            for entry in gamma:
+                if entry.lower > bar:
+                    bar = entry.lower
+            probe_ctx = self._probe_context()
+            candidates = [u for u in range(self._n)
+                          if gamma[u].upper > bar]
+            questions = 0
+            truncated = False
+            while candidates:
+                if budget is not None:
+                    try:
+                        budget.check()
+                    except BudgetExceeded:
+                        truncated = True
+                        break
+                # Most-promising first: the highest cached upper bound
+                # is the entry that can raise the bar the furthest.
+                pick = max(candidates,
+                           key=lambda u: (gamma[u].upper, -u))
+                questions += 1
+                try:
+                    witness = self._gamma_question(
+                        probe_ctx, pick, bar, budget)
+                except BudgetExceeded:
+                    truncated = True
+                    break
+                entry = gamma[pick]
+                if witness is None:
+                    # No anchored clique with polarization > bar.
+                    entry.upper = bar
+                else:
+                    entry.witness = witness
+                    entry.lower = witness.polarization
+                    bar = max(bar, entry.lower)
+                candidates = [u for u in candidates
+                              if gamma[u].upper > bar]
+            tracer.counter("dynamic.gamma_questions").inc(questions)
+            span.set(beta=bar, questions=questions,
+                     truncated=truncated)
+            return bar
+
+    def _probe_context(self) -> WorkerContext | None:
+        """In-process worker context for the mask-engine DCC probes.
+
+        Built per ``beta()`` call: the suffix table is one O(n) pass,
+        and the numpy path's matrices must reflect the current bits.
+        The set engine probes the live graph directly and needs none.
+        """
+        if self._engine == "set":
+            return None
+        return WorkerContext(
+            self._pos_bits, self._neg_bits, self._n, self._tau,
+            self._order, SharedIncumbent(0), engine=self._engine)
+
+    def _gamma_question(
+        self,
+        probe_ctx: WorkerContext | None,
+        u: int,
+        bar: int,
+        budget: Budget | None,
+    ) -> BalancedClique | None:
+        """Does an anchored clique at ``u`` beat polarization ``bar``?
+
+        Asks DCC for ``bar`` same-side and ``bar + 1`` opposite-side
+        candidates in ``g_u``; with ``u`` added, a witness has
+        polarization at least ``bar + 1``.  Failure certifies that no
+        anchored clique exceeds ``bar`` (the contrapositive), which
+        the caller caches as ``upper = bar``.
+        """
+        tracer = current_tracer()
+        if probe_ctx is None:
+            allowed_u = self._allowed[u]
+            if ((self._pos_bits[u] & allowed_u).bit_count() < bar
+                    or (self._neg_bits[u] & allowed_u).bit_count()
+                    < bar + 1):
+                return None
+            allowed = HigherRanked(self._rank, self._rank[u])
+            network = build_dichromatic_network(
+                self._graph, u, allowed)
+            found = dichromatic_clique_witness(
+                network, bar, bar + 1, engine="set", budget=budget)
+        else:
+            probe = _dcc_ego_np if self._engine == "numpy" \
+                else _dcc_ego_bits
+            with tracer.span("ego", v=u) as ego:
+                _pruned, network, found = probe(
+                    probe_ctx, u, bar, None, tracer, ego)
+        if found is None or network is None:
+            return None
+        left = {u}
+        right: set[int] = set()
+        for vertex in found:
+            origin = network.origin[vertex]
+            (left if network.is_left[vertex] else right).add(origin)
+        return BalancedClique.from_sides(left, right)

@@ -23,6 +23,7 @@ __all__ = [
     "k_core_active_mask",
     "bicore_active_mask",
     "coloring_upper_bound_active_mask",
+    "first_fit_color_count",
     "active_edge_count_mask",
     "degeneracy_ordering_mask",
 ]
@@ -150,16 +151,29 @@ def coloring_upper_bound_active_mask(adj: list[int], active: int) -> int:
     """
     if not active:
         return 0
-    order: list[tuple[int, int]] = []
+    ranked: list[tuple[int, int]] = []
     rest = active
     while rest:
         low = rest & -rest
         rest ^= low
         v = low.bit_length() - 1
-        order.append((-(adj[v] & active).bit_count(), v))
-    order.sort()
+        ranked.append((-(adj[v] & active).bit_count(), v))
+    ranked.sort()
+    return first_fit_color_count(adj, [v for _neg_degree, v in ranked])
+
+
+def first_fit_color_count(adj: list[int], order: list[int]) -> int:
+    """First-fit greedy placement: number of colour classes used.
+
+    Shared placement loop of the colouring bound — each vertex of
+    ``order`` takes the first colour class its neighbourhood misses; a
+    class is a single mask, so the conflict test is one ``&``.  The
+    numpy engine computes the degree order vectorised and feeds the
+    same loop (:func:`repro.kernels.npmask.coloring_upper_bound_active`),
+    which keeps the two engines' bounds equal by construction.
+    """
     color_masks: list[int] = []
-    for _neg_degree, v in order:
+    for v in order:
         neighbors = adj[v]
         bit = 1 << v
         for i, members in enumerate(color_masks):

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 from ..obs import current_tracer
+from .active import first_fit_color_count
 from .bitset import mask_stride
 
 try:
@@ -466,30 +467,24 @@ def bicore_active(
 def coloring_upper_bound_active(mat: "Matrix", active: "Row") -> int:
     """Greedy-colouring clique bound over ``active`` (``colorUB``).
 
-    The vertex scan is inherently sequential (each placement depends on
-    every earlier one) but the inner conflict test — "which existing
-    colour class does ``v``'s neighbourhood miss?" — is one vectorised
-    AND over the whole ``(classes, words)`` stack.  Order matches the
-    bitset kernel: non-increasing degree-in-active, ties by vertex id.
+    The greedy placement is inherently sequential — each colour choice
+    depends on every earlier one — so a row-at-a-time numpy loop loses
+    badly to int masks (0.12x vs bitset in the committed kernel
+    benchmark).  Split the kernel instead: the degree ordering (half of
+    the bitset kernel's cost) is computed vectorised, the rows are
+    converted once at the boundary, and placement runs through the
+    shared bitset first-fit loop.  Order is identical by construction:
+    non-increasing degree-in-active, ties by vertex id.
     """
     n = mat.shape[0]
     members = row_indices(active, n)
     if members.size == 0:
         return 0
     degrees = popcount_words(
-        mat[members] & active).sum(axis=1).astype(np.int64)
-    order = members[np.lexsort((members, -degrees))]
-    classes = np.zeros((members.size, mat.shape[1]), dtype=np.uint64)
-    used = 0
-    for v in order.tolist():
-        conflicts = np.bitwise_and(
-            classes[:used], mat[v]).any(axis=1)
-        free = np.flatnonzero(~conflicts)
-        color = int(free[0]) if free.size else used
-        if color == used:
-            used += 1
-        classes[color, v >> 6] |= np.uint64(1) << np.uint64(v & 63)
-    return used
+        mat & active).sum(axis=1).astype(np.int64)
+    order = members[np.lexsort((members, -degrees[members]))]
+    return first_fit_color_count(
+        masks_from_matrix(mat, n), order.tolist())
 
 
 def degeneracy_ordering(mat: "Matrix", active: "Row") -> list[int]:

@@ -53,13 +53,14 @@ from .incumbent import SharedIncumbent
 from .tasks import chunk_vertices, cost_ordered, estimated_work, \
     is_viable, plan_tasks
 from .worker import WorkerContext, install_context, \
-    run_dcc_chunk_task, run_mdc_chunk_task
+    run_dcc_chunk_task, run_dynamic_chunk_task, run_mdc_chunk_task
 
 __all__ = [
     "resolve_workers",
     "preferred_start_method",
     "mbc_ego_fanout",
     "pf_round_fanout",
+    "dynamic_ego_fanout",
     "MIN_POOL_TASKS",
     "MIN_POOL_WORK",
 ]
@@ -216,6 +217,103 @@ def mbc_ego_fanout(
         else:
             right.add(mapping[vertex])
     return BalancedClique.from_sides(left, right)
+
+
+def dynamic_ego_fanout(
+    pos_bits: list[int],
+    neg_bits: list[int],
+    n: int,
+    tau: int,
+    floor: int,
+    egos: list[int],
+    order: list[int],
+    workers: int,
+    work_estimate: int = 0,
+    use_core: bool = True,
+    use_coloring: bool = True,
+    stats: SearchStats | None = None,
+    trace: Tracer | None = None,
+    budget: "Budget | None" = None,
+    engine: str = "bitset",
+) -> "tuple[list[tuple[int, int, list[tuple[int, bool]] | None]], bool]":
+    """Dispatch the dynamic solver's dirty-ego subset.
+
+    Unlike :func:`mbc_ego_fanout` this takes no graph: the dynamic
+    solver owns incrementally-maintained adjacency masks and hands
+    them over directly, with ``egos`` the (typically tiny) subset of
+    anchors whose cached bounds cannot rule them out and ``floor`` the
+    incumbent size certified by cached witnesses.  Vertex ids are
+    global — the solver runs without a reduction mapping because the
+    graph mutates between solves.  ``work_estimate`` is the solver's
+    own cost forecast for ``egos`` (it already holds per-ego candidate
+    counts, so re-planning tasks here would be an O(n) scan per solve);
+    it only gates pool creation against ``MIN_POOL_WORK``.
+
+    Returns ``(outcomes, completed)``; each outcome is the worker's
+    ``(u, certified upper, members-or-None)`` triple.  Outcomes are
+    certified individually (see
+    :func:`repro.parallel.worker.run_dynamic_chunk`), so on budget
+    exhaustion the partial list is returned with ``completed=False``
+    and the caller commits what arrived — the unprocessed egos simply
+    stay dirty.  A pool failure resets the shared incumbent to the
+    floor certified by delivered witnesses, exactly as in
+    :func:`mbc_ego_fanout`.
+    """
+    tracer = trace if trace is not None else current_tracer()
+    if not egos:
+        return [], True
+    incumbent = SharedIncumbent(
+        floor,
+        multiprocessing.get_context(preferred_start_method())
+        if preferred_start_method() is not None else None)
+    want_accounting = _want_accounting(stats, budget)
+    ctx_obj = WorkerContext(
+        pos_bits, neg_bits, n, tau, order, incumbent,
+        use_core=use_core, use_coloring=use_coloring,
+        want_stats=want_accounting, want_trace=tracer.enabled,
+        engine=engine)
+    chunks = chunk_vertices(egos, workers)
+    want_pool = (workers > 1 and len(egos) >= MIN_POOL_TASKS
+                 and work_estimate >= MIN_POOL_WORK)
+    dispatcher = ResilientDispatcher(workers, ctx_obj,
+                                     want_pool=want_pool)
+    outcomes: "list[tuple[int, int, list[tuple[int, bool]] | None]]" = []
+    completed = True
+    certified = floor
+    try:
+        with tracer.span("fanout", tasks=len(egos), workers=workers,
+                         dynamic=True) as fan_span:
+            try:
+                for chunk_outcomes, chunk_stats, buffer, _examined, \
+                        _skipped in dispatcher.run(
+                            run_dynamic_chunk_task, chunks,
+                            budget=budget,
+                            on_recover=lambda:
+                                incumbent.reset(certified)):
+                    if chunk_stats is not None and stats is not None:
+                        stats.merge(chunk_stats)
+                    _charge_chunk(budget, chunk_stats)
+                    if buffer is not None:
+                        tracer.absorb(buffer)
+                    outcomes.extend(chunk_outcomes)
+                    for _u, upper, members in chunk_outcomes:
+                        if members is not None:
+                            certified = max(certified, upper)
+            except BudgetExceeded:
+                dispatcher.abort()
+                completed = False
+            if tracer.enabled:
+                report = dispatcher.report
+                fan_span.set(pooled=report.pooled,
+                             rebuilds=report.rebuilds,
+                             degraded=report.degraded,
+                             delivered=len(outcomes))
+                if budget is not None:
+                    fan_span.set(status=budget.status.value)
+    finally:
+        dispatcher.close()
+        install_context(None)
+    return outcomes, completed
 
 
 def pf_round_fanout(

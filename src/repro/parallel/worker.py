@@ -59,11 +59,14 @@ __all__ = [
     "init_spawned_worker",
     "run_mdc_chunk",
     "run_dcc_chunk",
+    "run_dynamic_chunk",
     "run_mdc_chunk_task",
     "run_dcc_chunk_task",
+    "run_dynamic_chunk_task",
     "PackedContext",
     "MdcChunkResult",
     "DccChunkResult",
+    "DynamicChunkResult",
 ]
 
 #: :meth:`WorkerContext.pack` wire format — two mask byte blobs, the
@@ -89,6 +92,17 @@ MdcChunkResult = tuple[
 DccChunkResult = tuple[
     "list[tuple[int, int, list[tuple[int, bool]]]]",
     "SearchStats | None", "TraceBuffer | None", int]
+
+#: ``(outcomes, stats delta, trace delta, examined, skipped)`` per
+#: dynamic chunk; each outcome is ``(u, upper, members)`` — the
+#: anchor, its certified ego upper bound, and the exact witness
+#: ``[(vertex, is_left), ...]`` when the solve found one (``None``
+#: otherwise).  Unlike :data:`MdcChunkResult`, *every* examined ego
+#: reports back: the dynamic solver commits the bounds to its
+#: per-vertex cache.
+DynamicChunkResult = tuple[
+    "list[tuple[int, int, list[tuple[int, bool]] | None]]",
+    "SearchStats | None", "TraceBuffer | None", int, int]
 
 #: The per-process context (set by fork inheritance or the spawn
 #: initializer).  One solve at a time per pool.
@@ -253,7 +267,7 @@ def run_mdc_chunk(chunk: list[int]) -> MdcChunkResult:
                 # register: a stale read only loosens the bound, never
                 # breaks correctness.
                 required = max(incumbent.get() + 1, 2 * tau)
-                pruned, network, found = ego_solver(
+                pruned, _upper, network, found = ego_solver(
                     ctx, u, required, stats, tracer, ego)
                 if pruned is not None:
                     if pruned == "bound":
@@ -284,36 +298,48 @@ def _mdc_ego_bits(
     stats: "SearchStats | None",
     tracer: Tracer,
     ego: Span,
-) -> "tuple[str | None, DichromaticGraph | None, set[int] | None]":
+) -> "tuple[str | None, int, DichromaticGraph | None, set[int] | None]":
     """One bitset-engine MDC ego task: prune chain + exact solve.
 
-    Returns ``(pruned reason, network, witness)``; exactly one of the
-    reason and the network is ``None``, and the witness is ``None``
-    unless the solve improved on ``required``.
+    Returns ``(pruned reason, upper, network, witness)``; exactly one
+    of the reason and the network is ``None``, and the witness is
+    ``None`` unless the solve improved on ``required``.  ``upper`` is a
+    *certified* upper bound on the size of any tau-satisfying balanced
+    clique anchored at ``u`` — an unconditional fact about the ego
+    instance (candidate counts, network size, or the exhaustiveness of
+    the pruned/finished search below ``required``), so it stays valid
+    however ``required`` was derived, even from an incumbent
+    publication later lost to a pool failure.  Lower bounds are the
+    opposite: only a delivered witness certifies one.
     """
     pos_bits, neg_bits, tau = ctx.pos_bits, ctx.neg_bits, ctx.tau
     assert pos_bits is not None and neg_bits is not None
     allowed = ctx.allowed(u)
     pos_count = (pos_bits[u] & allowed).bit_count()
     neg_count = (neg_bits[u] & allowed).bit_count()
-    if (pos_count + neg_count + 1 < required
-            or pos_count < tau - 1 or neg_count < tau):
-        return "bound", None, None
+    if pos_count < tau - 1 or neg_count < tau:
+        # No anchored clique can satisfy tau at all.
+        return "bound", 0, None, None
+    if pos_count + neg_count + 1 < required:
+        return "bound", pos_count + neg_count + 1, None, None
     network = dichromatic_network_from_masks(
         pos_bits, neg_bits, u, allowed)
     if network.num_vertices + 1 < required:
-        return "size", None, None
+        return "size", network.num_vertices + 1, None, None
     adj_bits = network.adjacency_bits()
     active_mask = network.all_bits()
     if ctx.use_core:
         active_mask = k_core_active_mask(
             adj_bits, required - 2, active_mask)
+    # Core/colour prunes certify only "nothing >= required": an
+    # anchored clique of size required - 1 may live outside the
+    # (required - 2)-core, so the bound cannot be tightened further.
     if active_mask.bit_count() + 1 < required:
-        return "core", None, None
+        return "core", required - 1, None, None
     if ctx.use_coloring:
         bound = coloring_upper_bound_active_mask(adj_bits, active_mask)
         if bound < required - 1:
-            return "color", None, None
+            return "color", required - 1, None, None
     ego.set(n=network.num_vertices, reduced=active_mask.bit_count())
     if stats is not None:
         stats.instances += 1
@@ -331,7 +357,10 @@ def _mdc_ego_bits(
         use_core=ctx.use_core,
         active_mask=active_mask,
         trace=tracer)
-    return None, network, found
+    # Exhaustive above the floor: a witness is the exact anchored
+    # optimum; no witness proves nothing >= required exists.
+    upper = len(found) + 1 if found is not None else required - 1
+    return None, upper, network, found
 
 
 def _mdc_ego_np(
@@ -341,21 +370,23 @@ def _mdc_ego_np(
     stats: "SearchStats | None",
     tracer: Tracer,
     ego: Span,
-) -> "tuple[str | None, DichromaticGraph | None, set[int] | None]":
+) -> "tuple[str | None, int, DichromaticGraph | None, set[int] | None]":
     """Numpy-engine mirror of :func:`_mdc_ego_bits` — same prune chain
-    over the mask-matrix kernels, same solve at ``engine="numpy"``."""
+    over the mask-matrix kernels, same solve at ``engine="numpy"``,
+    same certified-upper-bound contract."""
     pos_mat, neg_mat = ctx.pos_matrix(), ctx.neg_matrix()
     tau = ctx.tau
     allowed = ctx.allowed_row(u)
     pos_count = npmask.degree_in_active(pos_mat, u, allowed)
     neg_count = npmask.degree_in_active(neg_mat, u, allowed)
-    if (pos_count + neg_count + 1 < required
-            or pos_count < tau - 1 or neg_count < tau):
-        return "bound", None, None
+    if pos_count < tau - 1 or neg_count < tau:
+        return "bound", 0, None, None
+    if pos_count + neg_count + 1 < required:
+        return "bound", pos_count + neg_count + 1, None, None
     network = dichromatic_network_from_matrix(
         pos_mat, neg_mat, u, allowed)
     if network.num_vertices + 1 < required:
-        return "size", None, None
+        return "size", network.num_vertices + 1, None, None
     adj_mat = network.adjacency_matrix()
     active_row = network.all_row()
     if ctx.use_core:
@@ -363,11 +394,11 @@ def _mdc_ego_np(
             adj_mat, required - 2, active_row)
     reduced_count = npmask.row_count(active_row)
     if reduced_count + 1 < required:
-        return "core", None, None
+        return "core", required - 1, None, None
     if ctx.use_coloring:
         bound = npmask.coloring_upper_bound_active(adj_mat, active_row)
         if bound < required - 1:
-            return "color", None, None
+            return "color", required - 1, None, None
     ego.set(n=network.num_vertices, reduced=reduced_count)
     if stats is not None:
         stats.instances += 1
@@ -385,7 +416,8 @@ def _mdc_ego_np(
         use_core=ctx.use_core,
         active_row=active_row,
         trace=tracer)
-    return None, network, found
+    upper = len(found) + 1 if found is not None else required - 1
+    return None, upper, network, found
 
 
 def run_mdc_chunk_task(
@@ -411,6 +443,69 @@ def run_dcc_chunk_task(
     idx, attempt, payload = task
     fire_faults(idx, attempt)
     return idx, run_dcc_chunk(payload)
+
+
+def run_dynamic_chunk(chunk: list[int]) -> DynamicChunkResult:
+    """Re-solve the dirty ego instances of ``chunk`` for the dynamic
+    solver, reporting a certified bound per ego.
+
+    The per-ego body is :func:`run_mdc_chunk`'s, but the aggregation
+    differs: instead of keeping only the chunk's best witness, every
+    examined ego yields an ``(u, upper, members)`` outcome so the
+    parent :class:`repro.dynamic.DynamicSolver` can commit it to its
+    per-vertex cache.  ``upper`` is unconditionally certified (see
+    :func:`_mdc_ego_bits`), so outcomes stay committable even when the
+    dispatch is later truncated by a budget or survives a pool
+    failure; ``members`` (translated to graph ids worker-side) is
+    present exactly when the solve found the anchored optimum, which
+    the parent records as ``lower = upper``.
+    """
+    ctx = _CTX
+    assert ctx is not None, "worker context not installed"
+    tau = ctx.tau
+    incumbent = ctx.incumbent
+    stats = SearchStats() if ctx.want_stats else None
+    tracer = get_tracer(ctx.want_trace)
+    previous = install_tracer(tracer) if ctx.want_trace else None
+    ego_solver = _mdc_ego_np if ctx.engine == "numpy" else _mdc_ego_bits
+    outcomes: "list[tuple[int, int, list[tuple[int, bool]] | None]]" = []
+    skipped = 0
+
+    with tracer.span("chunk", size=len(chunk), dynamic=True):
+        for u in chunk:
+            with tracer.span("ego", v=u) as ego:
+                required = max(incumbent.get() + 1, 2 * tau)
+                pruned, upper, network, found = ego_solver(
+                    ctx, u, required, stats, tracer, ego)
+                if pruned is not None:
+                    if pruned == "bound":
+                        skipped += 1
+                    ego.set(pruned=pruned)
+                    outcomes.append((u, upper, None))
+                    continue
+                ego.set(found=found is not None)
+                if found is None or network is None:
+                    outcomes.append((u, upper, None))
+                    continue
+                incumbent.improve(len(found) + 1)
+                outcomes.append((u, upper, [
+                    (network.origin[v], network.is_left[v])
+                    for v in found]))
+
+    if ctx.want_trace:
+        install_tracer(previous)
+    buffer = tracer.export_buffer() if ctx.want_trace else None
+    return outcomes, stats, buffer, len(chunk), skipped
+
+
+def run_dynamic_chunk_task(
+    task: "tuple[int, int, list[int]]",
+) -> "tuple[int, DynamicChunkResult]":
+    """Dispatch envelope for :func:`run_dynamic_chunk` (same
+    ``(index, attempt, payload)`` triple as :func:`run_mdc_chunk_task`)."""
+    idx, attempt, chunk = task
+    fire_faults(idx, attempt)
+    return idx, run_dynamic_chunk(chunk)
 
 
 def run_dcc_chunk(args: tuple[int, list[int]]) -> DccChunkResult:

@@ -38,6 +38,22 @@ NEGATIVE = -1
 __all__ = ["SignedGraph", "POSITIVE", "NEGATIVE"]
 
 
+def _edge_token(u: int, v: int, sign: int) -> int:
+    """256-bit hash token of a single signed edge (endpoint order free).
+
+    The incremental fingerprint accumulator XORs one token per edge, so
+    inserting and removing the same edge cancel exactly and the
+    accumulator never depends on edit order.  XOR-of-hashes is a
+    standard multiset hash; it is collision-resistant for the
+    non-adversarial cache-keying done here, not against attackers who
+    can choose edges.
+    """
+    if u > v:
+        u, v = v, u
+    payload = f"{u},{v},{sign}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest(), "big")
+
+
 class SignedGraph:
     """An undirected simple signed graph with integer vertices ``0..n-1``.
 
@@ -65,6 +81,14 @@ class SignedGraph:
         self._pos_mat: "Matrix | None" = None
         self._neg_mat: "Matrix | None" = None
         self._fingerprint: str | None = None
+        # XOR accumulator of per-edge hash tokens.  ``None`` means "not
+        # primed": mutators skip it entirely, so bulk construction and
+        # the reductions' peeling loops pay nothing.  The first
+        # ``fingerprint()`` call primes it with one full edge scan;
+        # after that every mutation maintains it in O(1) hashes, which
+        # is what makes fingerprint-keyed caching viable on streaming
+        # graphs (see ``repro.dynamic``).
+        self._edge_acc: int | None = None
         self._labels: list[str] | None = None
         if labels is not None:
             if len(labels) != n:
@@ -303,6 +327,8 @@ class SignedGraph:
             self._pos_edges += 1
         else:
             self._neg_edges += 1
+        if self._edge_acc is not None:
+            self._edge_acc ^= _edge_token(u, v, sign)
         self._invalidate_bits()
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -311,16 +337,56 @@ class SignedGraph:
             self._pos[u].discard(v)
             self._pos[v].discard(u)
             self._pos_edges -= 1
+            removed_sign = POSITIVE
         elif v in self._neg[u]:
             self._neg[u].discard(v)
             self._neg[v].discard(u)
             self._neg_edges -= 1
+            removed_sign = NEGATIVE
         else:
             raise KeyError(f"no edge between {u} and {v}")
+        if self._edge_acc is not None:
+            self._edge_acc ^= _edge_token(u, v, removed_sign)
+        self._invalidate_bits()
+
+    def flip_sign(self, u: int, v: int) -> None:
+        """Toggle the sign of the existing edge ``(u, v)``.
+
+        Raises
+        ------
+        KeyError
+            if no edge joins ``u`` and ``v``.
+        """
+        if v in self._pos[u]:
+            self._pos[u].discard(v)
+            self._pos[v].discard(u)
+            self._neg[u].add(v)
+            self._neg[v].add(u)
+            self._pos_edges -= 1
+            self._neg_edges += 1
+            old_sign, new_sign = POSITIVE, NEGATIVE
+        elif v in self._neg[u]:
+            self._neg[u].discard(v)
+            self._neg[v].discard(u)
+            self._pos[u].add(v)
+            self._pos[v].add(u)
+            self._neg_edges -= 1
+            self._pos_edges += 1
+            old_sign, new_sign = NEGATIVE, POSITIVE
+        else:
+            raise KeyError(f"no edge between {u} and {v}")
+        if self._edge_acc is not None:
+            self._edge_acc ^= _edge_token(u, v, old_sign)
+            self._edge_acc ^= _edge_token(u, v, new_sign)
         self._invalidate_bits()
 
     def isolate_vertex(self, v: int) -> None:
         """Remove all edges incident to ``v`` (used by peeling reductions)."""
+        if self._edge_acc is not None:
+            for u in self._pos[v]:
+                self._edge_acc ^= _edge_token(u, v, POSITIVE)
+            for u in self._neg[v]:
+                self._edge_acc ^= _edge_token(u, v, NEGATIVE)
         for u in self._pos[v]:
             self._pos[u].discard(v)
         for u in self._neg[v]:
@@ -370,21 +436,33 @@ class SignedGraph:
     # Diagnostics
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:
-        """Stable content hash of ``(n, sorted signed edges)``.
+        """Stable content hash of ``(n, signed edge set)``.
 
-        SHA-256 over a canonical serialisation: the vertex count
-        followed by every edge as ``u,v,sign`` with ``u < v`` in
-        lexicographic order.  Two graphs get the same fingerprint iff
-        they have the same vertex count and edge multiset — labels and
-        construction order do not matter.  This is the cache key for
-        result caching / memoization (ROADMAP); cached per instance and
-        invalidated by every mutation.
+        SHA-256 over the vertex count plus an XOR accumulator of
+        per-edge hash tokens (:func:`_edge_token`).  Two graphs get the
+        same fingerprint iff they have the same vertex count and edge
+        set — labels and construction order do not matter.  This is the
+        cache key for result caching / memoization; cached per instance
+        and invalidated by every mutation.
+
+        The first call primes the accumulator with one full edge scan;
+        every subsequent mutation maintains it with O(1) hash updates
+        (O(deg) for :meth:`isolate_vertex`), so re-fingerprinting after
+        an edit costs one SHA-256 rather than an edge-list sort.  The
+        incremental path is what :class:`repro.dynamic.DynamicSolver`
+        keys its per-ego result cache on; ``tests/test_signed_graph.py``
+        asserts it always equals a from-scratch recomputation.
         """
         if self._fingerprint is None:
+            if self._edge_acc is None:
+                acc = 0
+                for u, v, sign in self.edges():
+                    acc ^= _edge_token(u, v, sign)
+                self._edge_acc = acc
             digest = hashlib.sha256()
-            digest.update(f"n={self.num_vertices}".encode())
-            for u, v, sign in sorted(self.edges()):
-                digest.update(f";{u},{v},{sign}".encode())
+            digest.update(
+                f"n={self.num_vertices};edges={self._edge_acc:064x}"
+                .encode())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 

@@ -156,9 +156,9 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_ten_rules_with_unique_ids(self):
+    def test_eleven_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 10
+        assert len(ids) == len(set(ids)) == 11
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):
@@ -467,6 +467,28 @@ def degrees(mat: "Matrix", active: "Row") -> "IntArray":
 '''
 
 
+R011_BAD = '''\
+"""Fixture."""
+__all__ = ["DynamicSolver"]
+
+
+class DynamicSolver:
+    def resync(self, u: int, v: int) -> None:
+        self._graph.remove_edge(u, v)
+'''
+
+R011_CLEAN = '''\
+"""Fixture."""
+__all__ = ["DynamicSolver"]
+
+
+class DynamicSolver:
+    def add_edge(self, u: int, v: int, sign: int) -> bool:
+        self._graph.add_edge(u, v, sign)
+        return True
+'''
+
+
 def _with_pragma(source: str, line_fragment: str, rule_id: str) -> str:
     """Append a noqa pragma to the first line containing the fragment."""
     lines = source.splitlines()
@@ -499,6 +521,8 @@ RULE_FIXTURES = [
      "return list(pool.imap_unordered(len, chunks))", R009_CLEAN),
     ("R010", "repro.kernels.npmask", R010_BAD,
      "for row in mat:", R010_CLEAN),
+    ("R011", "repro.dynamic.fixture", R011_BAD,
+     "self._graph.remove_edge(u, v)", R011_CLEAN),
 ]
 
 

@@ -32,6 +32,7 @@ from repro.core.mbc_baseline import mbc_baseline
 from repro.core.mbc_star import mbc_star
 from repro.core.pf import pf_star
 from repro.core.result import BalancedClique
+from repro.dynamic import DynamicSolver, apply_edit, random_edits
 from repro.obs import get_tracer
 from repro.signed.graph import SignedGraph
 from repro.unsigned.graph import UnsignedGraph
@@ -210,3 +211,59 @@ class TestOrderingRegression:
     def test_empty_graph(self):
         assert degeneracy_ordering(UnsignedGraph(0)) == []
         assert degeneracy_ordering(UnsignedGraph(3)) == [0, 1, 2]
+
+
+class TestDynamicDifferential:
+    """Seeded random edit scripts against the incremental solver.
+
+    After *every* edit the dynamic solver's cached-bound answer must
+    equal a from-scratch full solve of the live graph — optimum size,
+    witness validity, and ``beta(G)`` — across every engine, and at
+    ``workers = 2`` on a subsample.  This is the streaming analogue of
+    the static differential sweep above, and the direct check that
+    dirty-ego invalidation never reuses a stale certified bound.
+    """
+
+    EDITS = 10
+
+    def _check_step(self, solver: DynamicSolver, engine: str,
+                    context: str) -> None:
+        graph = solver.graph
+        result = solver.solve()
+        full = mbc_star(graph, solver.tau, engine=engine)
+        assert result.clique.size == full.size, (
+            f"{context}: incremental {result.clique.size} "
+            f"!= full {full.size}")
+        assert result.optimal
+        assert_valid(result.clique, graph, solver.tau)
+        assert solver.beta() == pf_star(graph, engine=engine), (
+            f"{context}: beta mismatch")
+
+    def _run_script(self, seed: int, engine: str,
+                    workers: int) -> None:
+        graph = random_graph(seed)
+        tau = max(1, seed % 3)
+        solver = DynamicSolver(graph, tau, engine=engine,
+                               parallel=workers)
+        context = f"seed={seed} engine={engine} workers={workers}"
+        self._check_step(solver, engine, f"{context} step=0")
+        for step, edit in enumerate(
+                random_edits(graph, self.EDITS, seed=seed + 1),
+                start=1):
+            apply_edit(solver, edit)
+            self._check_step(
+                solver, engine,
+                f"{context} step={step} edit={edit.as_line()!r}")
+
+    @pytest.mark.parametrize(
+        "seed", range(BASE_SEED, BASE_SEED + SWEEP, SWEEP // 20))
+    def test_edit_scripts_match_full_resolve(self, seed):
+        for engine in SOLVER_ENGINES:
+            self._run_script(seed, engine, workers=1)
+
+    @pytest.mark.parametrize(
+        "seed",
+        range(BASE_SEED, BASE_SEED + SWEEP, SWEEP // PARALLEL_SAMPLE))
+    def test_edit_scripts_match_under_fanout(self, seed):
+        for engine in PARALLEL_ENGINES:
+            self._run_script(seed, engine, workers=2)

@@ -328,3 +328,84 @@ class TestFingerprint:
         rebuilt = SignedGraph.from_signed_edges(
             graph.num_vertices, sorted(graph.edges(), reverse=True))
         assert rebuilt.fingerprint() == graph.fingerprint()
+
+
+class TestIncrementalFingerprint:
+    """The O(1)-per-edit accumulator must always equal a from-scratch
+    recomputation — this is the cache key the dynamic solver trusts."""
+
+    @staticmethod
+    def _recomputed(graph: SignedGraph) -> str:
+        rebuilt = SignedGraph.from_signed_edges(
+            graph.num_vertices, sorted(graph.edges()))
+        return rebuilt.fingerprint()
+
+    def test_every_mutation_kind_matches_recompute(self):
+        graph = SignedGraph.from_signed_edges(
+            6, [(0, 1, 1), (0, 2, -1), (1, 2, 1), (3, 4, -1)])
+        graph.fingerprint()  # prime the incremental accumulator
+        mutations = [
+            lambda: graph.add_edge(2, 3, POSITIVE),
+            lambda: graph.add_edge(4, 5, NEGATIVE),
+            lambda: graph.flip_sign(0, 1),
+            lambda: graph.remove_edge(0, 2),
+            lambda: graph.flip_sign(0, 1),
+            lambda: graph.isolate_vertex(2),
+            lambda: graph.remove_edge(3, 4),
+        ]
+        for mutate in mutations:
+            mutate()
+            assert graph.fingerprint() == self._recomputed(graph)
+
+    def test_random_edit_stream_matches_recompute(self):
+        import random as _random
+        rng = _random.Random(42)
+        graph = SignedGraph(9)
+        graph.fingerprint()
+        for _ in range(120):
+            u, v = rng.sample(range(9), 2)
+            sign = graph.sign(u, v)
+            if sign is None:
+                graph.add_edge(
+                    u, v, NEGATIVE if rng.random() < 0.5 else POSITIVE)
+            elif rng.random() < 0.5:
+                graph.remove_edge(u, v)
+            else:
+                graph.flip_sign(u, v)
+            assert graph.fingerprint() == self._recomputed(graph)
+
+    def test_remove_then_readd_restores_fingerprint(self):
+        graph = SignedGraph.from_signed_edges(
+            4, [(0, 1, 1), (1, 2, -1)])
+        before = graph.fingerprint()
+        graph.remove_edge(1, 2)
+        graph.add_edge(1, 2, NEGATIVE)
+        assert graph.fingerprint() == before
+
+
+class TestFlipSign:
+    def test_flip_toggles_and_updates_counters(self):
+        graph = SignedGraph.from_signed_edges(3, [(0, 1, 1)])
+        graph.flip_sign(0, 1)
+        assert graph.sign(0, 1) == NEGATIVE
+        assert graph.num_positive_edges == 0
+        assert graph.num_negative_edges == 1
+        graph.flip_sign(0, 1)
+        assert graph.sign(0, 1) == POSITIVE
+        assert graph.num_positive_edges == 1
+        assert graph.num_negative_edges == 0
+
+    def test_flip_missing_edge_raises(self):
+        graph = SignedGraph(3)
+        with pytest.raises(KeyError):
+            graph.flip_sign(0, 1)
+
+    def test_flip_equals_remove_plus_add(self):
+        flipped = SignedGraph.from_signed_edges(
+            4, [(0, 1, 1), (2, 3, -1)])
+        flipped.fingerprint()
+        flipped.flip_sign(0, 1)
+        rebuilt = SignedGraph.from_signed_edges(
+            4, [(0, 1, -1), (2, 3, -1)])
+        assert flipped.fingerprint() == rebuilt.fingerprint()
+        assert sorted(flipped.edges()) == sorted(rebuilt.edges())
