@@ -24,13 +24,23 @@ stripped-down environments.
 
 from .engine import (
     ModuleInfo,
+    ProgramRule,
     Rule,
     iter_python_files,
     lint_paths,
     lint_source,
+    lint_sources,
+    lint_tree,
 )
 from .findings import Finding
 from .pragmas import parse_pragmas
+from .program import (
+    CALLGRAPH_SCHEMA_VERSION,
+    Program,
+    build_program,
+    render_callgraph_json,
+    render_dot,
+)
 from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
 from .rules import ALL_RULES, RULES_BY_ID
 from .cli import main
@@ -38,14 +48,22 @@ from .cli import main
 __all__ = [
     "Finding",
     "ModuleInfo",
+    "Program",
+    "ProgramRule",
     "Rule",
     "ALL_RULES",
     "RULES_BY_ID",
+    "CALLGRAPH_SCHEMA_VERSION",
     "JSON_SCHEMA_VERSION",
+    "build_program",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "lint_tree",
     "parse_pragmas",
+    "render_callgraph_json",
+    "render_dot",
     "render_json",
     "render_text",
     "main",

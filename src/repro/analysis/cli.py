@@ -13,11 +13,11 @@ import argparse
 import sys
 from typing import Sequence, TextIO
 
-from .engine import Rule, iter_python_files, lint_paths
+from .engine import Rule, iter_python_files, lint_tree, load_module
 from .reporters import render_json, render_text
 from .rules import ALL_RULES, RULES_BY_ID
 
-__all__ = ["build_parser", "main", "run_lint"]
+__all__ = ["build_parser", "main", "run_callgraph", "run_lint"]
 
 #: Default lint target when no path is given: the package itself.
 DEFAULT_PATHS = ("src",)
@@ -66,11 +66,43 @@ def run_lint(
     """Lint ``paths`` and print a report; returns the exit code."""
     out = stream if stream is not None else sys.stdout
     rules = _select_rules(rule_ids)
-    files = iter_python_files(paths)
-    findings = lint_paths(paths, rules=rules)
+    # One walk: lint_tree reads and parses each file exactly once and
+    # reports the files it covered alongside the findings.
+    run = lint_tree(paths, rules=rules)
     render = render_json if as_json else render_text
-    print(render(findings, files_checked=len(files)), file=out)
-    return 1 if findings else 0
+    print(render(run.findings, files_checked=len(run.files)),
+          file=out)
+    return 1 if run.findings else 0
+
+
+def run_callgraph(
+    paths: Sequence[str],
+    fmt: str = "json",
+    stream: TextIO | None = None,
+) -> int:
+    """Export the resolved call graph of ``paths`` as JSON or DOT."""
+    from .findings import Finding
+    from .program import (
+        build_program, render_callgraph_json, render_dot)
+    out = stream if stream is not None else sys.stdout
+    if fmt not in ("json", "dot"):
+        raise KeyError(f"unknown callgraph format {fmt!r}; "
+                       f"known: dot, json")
+    modules = []
+    for path in iter_python_files(paths):
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            print(f"skipping unparsable {loaded.path}: "
+                  f"{loaded.message}", file=sys.stderr)
+            continue
+        modules.append(loaded)
+    program = build_program(modules)
+    if fmt == "json":
+        text = render_callgraph_json(program, root_paths=list(paths))
+    else:
+        text = render_dot(program)
+    print(text, file=out)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -22,19 +22,26 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .findings import SYNTAX_ERROR_ID, Finding
 from .pragmas import SuppressionTable, parse_pragmas
 
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids the cycle
+    from .program import Program
+
 __all__ = [
+    "LintRun",
     "ModuleInfo",
+    "ProgramRule",
     "Rule",
     "iter_python_files",
     "load_module",
     "lint_modules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "lint_tree",
 ]
 
 
@@ -120,18 +127,56 @@ class Rule:
             module.path, node, self.rule_id, message)
 
 
+class ProgramRule(Rule):
+    """A rule that checks the *whole program*, not one module.
+
+    Subclasses implement :meth:`check_program` against the resolved
+    :class:`~repro.analysis.program.Program` (call graph, symbol
+    tables, reaching-kwargs helpers).  ``check`` is a no-op so program
+    rules slot into the same registry, CLI ``--rule`` selection, and
+    reporter machinery as the per-module rules; the engine invokes
+    ``check_program`` once per lint run and routes each finding back
+    through the pragma table of the file it lands in.
+    """
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        """Program rules also cover the benchmark harness."""
+        if super().applies_to(module):
+            return True
+        return module.module is not None and (
+            module.module == "benchmarks"
+            or module.module.startswith("benchmarks."))
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings over the resolved program."""
+        raise NotImplementedError
+
+
+#: Path components (besides ``repro``) that anchor a module name.
+#: ``benchmarks/bench_kernels.py`` -> ``benchmarks.bench_kernels`` so
+#: the whole-program rules can police the benchmark harness too; the
+#: per-module rules all scope to ``repro.*`` and keep skipping it.
+_EXTRA_ROOTS = ("benchmarks",)
+
+
 def _module_name_for(path: str) -> tuple[str | None, bool]:
     """Derive the dotted module name from a file path.
 
-    The *last* path component named ``repro`` is taken as the package
-    root (``src/repro/core/pf.py`` -> ``repro.core.pf``).  Files outside
-    any ``repro`` tree get ``None`` — rules skip them, so linting a
-    whole checkout never flags tests or scripts.
+    The *last* path component named ``repro`` (or one of the
+    :data:`_EXTRA_ROOTS`) is taken as the package root
+    (``src/repro/core/pf.py`` -> ``repro.core.pf``).  Files outside
+    any such tree get ``None`` — rules skip them, so linting a whole
+    checkout never flags tests or scripts.
     """
     parts = os.path.normpath(path).split(os.sep)
-    if "repro" not in parts:
+    root = "repro" if "repro" in parts else next(
+        (r for r in _EXTRA_ROOTS if r in parts), None)
+    if root is None:
         return None, False
-    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    anchor = len(parts) - 1 - parts[::-1].index(root)
     dotted = parts[anchor:]
     leaf = dotted[-1]
     if not leaf.endswith(".py"):
@@ -197,7 +242,8 @@ def lint_modules(
 ) -> list[Finding]:
     """Run ``rules`` over parsed modules and filter suppressions."""
     findings: list[Finding] = []
-    for module in modules:
+    module_list = list(modules)
+    for module in module_list:
         for rule in rules:
             if not rule.applies_to(module):
                 continue
@@ -206,9 +252,74 @@ def lint_modules(
                         finding.line, finding.rule_id):
                     continue
                 findings.append(finding)
+    findings.extend(_lint_program(module_list, rules))
     # Rules may visit nested scopes from more than one root; findings
     # are value objects, so exact duplicates collapse here.
     return sorted(set(findings))
+
+
+def _lint_program(
+    modules: Sequence[ModuleInfo],
+    rules: Sequence[Rule],
+) -> Iterator[Finding]:
+    """Run the whole-program rules once over all modules together.
+
+    The program is built lazily — and only when a ``ProgramRule`` is
+    selected — so per-module lint runs pay nothing for it.  Findings
+    route through the pragma table of the file they anchor in.
+    """
+    program_rules = [
+        rule for rule in rules if isinstance(rule, ProgramRule)]
+    if not program_rules:
+        return
+    scoped = [
+        m for m in modules
+        if any(rule.applies_to(m) for rule in program_rules)]
+    if not scoped:
+        return
+    from .program import build_program
+    program = build_program(scoped)
+    tables = {m.path: m.suppressions for m in scoped}
+    for rule in program_rules:
+        for finding in rule.check_program(program):
+            table = tables.get(finding.path)
+            if table is not None and table.is_suppressed(
+                    finding.line, finding.rule_id):
+                continue
+            yield finding
+
+
+@dataclass
+class LintRun:
+    """One lint pass: the findings plus the files it walked.
+
+    ``run_lint`` needs both, and deriving them from a single walk is
+    what keeps the CLI from reading every file twice.
+    """
+
+    findings: list[Finding]
+    files: list[str]
+
+
+def lint_tree(
+    paths: Iterable[str],
+    rules: Sequence[Rule] | None = None,
+) -> LintRun:
+    """Walk ``paths`` once, lint every file, keep the file list."""
+    if rules is None:
+        from .rules import ALL_RULES
+        rules = ALL_RULES
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    modules: list[ModuleInfo] = []
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            modules.append(loaded)
+    findings.extend(lint_modules(modules, rules))
+    return LintRun(findings=sorted(set(findings)), files=files)
 
 
 def lint_paths(
@@ -216,19 +327,7 @@ def lint_paths(
     rules: Sequence[Rule] | None = None,
 ) -> list[Finding]:
     """Lint files/directories; the main library entry point."""
-    if rules is None:
-        from .rules import ALL_RULES
-        rules = ALL_RULES
-    findings: list[Finding] = []
-    modules: list[ModuleInfo] = []
-    for path in iter_python_files(paths):
-        loaded = load_module(path)
-        if isinstance(loaded, Finding):
-            findings.append(loaded)
-        else:
-            modules.append(loaded)
-    findings.extend(lint_modules(modules, rules))
-    return sorted(findings)
+    return lint_tree(paths, rules=rules).findings
 
 
 def lint_source(
@@ -246,3 +345,27 @@ def lint_source(
         source, path=path, module=module,
         is_package_init=is_package_init)
     return lint_modules([info], rules)
+
+
+def lint_sources(
+    sources: dict[str, str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint several in-memory modules as one program.
+
+    ``sources`` maps dotted module names to source text (append
+    ``/__init__`` to mark a package ``__init__``); the whole-program
+    rules see them as a single resolved tree, which is how the
+    call-graph fixtures exercise cross-module resolution.
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+        rules = ALL_RULES
+    modules = []
+    for name, source in sources.items():
+        is_init = name.endswith("/__init__")
+        module = name[:-len("/__init__")] if is_init else name
+        modules.append(ModuleInfo.from_source(
+            source, path=f"<memory:{module}>", module=module,
+            is_package_init=is_init))
+    return lint_modules(modules, rules)

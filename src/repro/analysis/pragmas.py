@@ -11,6 +11,17 @@ omitting the code list suppresses *every* rule on the line.  The repo
 itself never uses the blanket form (the self-check test suite rejects
 it) so each committed exception stays auditable.
 
+A *coded* pragma on **line 1** of a file applies *module-wide*: every
+finding of the listed rules anywhere in the file is silenced (the
+blanket form stays line-scoped even on line 1, so it can never
+silence a whole file).  This exists for
+the whole-program rules (R012+), whose findings can anchor at lines
+that merely *reach* a seam — e.g. a fixture module that legitimately
+ships a non-picklable payload to exercise the failure path — where a
+per-line pragma would have to chase the rule's anchor around every
+refactor.  File-level suppressions carry the same justification
+convention and are the loudest form, so they stay rare and auditable.
+
 The pragma must appear in a comment on the *reported* line.  By repo
 convention every pragma carries a one-line justification in the same
 comment or the line above — the linter cannot check prose, but the
@@ -36,12 +47,16 @@ class SuppressionTable:
     """Which rule ids are suppressed on which physical lines."""
 
     def __init__(self, blanket: frozenset[int],
-                 by_rule: dict[int, frozenset[str]]) -> None:
+                 by_rule: dict[int, frozenset[str]],
+                 file_level: frozenset[str] = frozenset()) -> None:
         self._blanket = blanket
         self._by_rule = by_rule
+        self._file_level = file_level
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         """Whether a finding of ``rule_id`` on ``line`` is silenced."""
+        if rule_id in self._file_level:
+            return True
         if line in self._blanket:
             return True
         return rule_id in self._by_rule.get(line, frozenset())
@@ -50,6 +65,11 @@ class SuppressionTable:
     def lines(self) -> frozenset[int]:
         """Every line carrying any pragma (used by reporters/tests)."""
         return self._blanket | frozenset(self._by_rule)
+
+    @property
+    def file_level(self) -> frozenset[str]:
+        """Rule ids suppressed module-wide by a line-1 pragma."""
+        return self._file_level
 
 
 def parse_pragmas(source: str) -> SuppressionTable:
@@ -61,6 +81,7 @@ def parse_pragmas(source: str) -> SuppressionTable:
     """
     blanket: set[int] = set()
     by_rule: dict[int, frozenset[str]] = {}
+    file_level: frozenset[str] = frozenset()
     for lineno, text in enumerate(source.splitlines(), start=1):
         if "repro:" not in text:
             continue
@@ -72,4 +93,7 @@ def parse_pragmas(source: str) -> SuppressionTable:
             blanket.add(lineno)
         else:
             by_rule[lineno] = frozenset(_CODE_RE.findall(codes))
-    return SuppressionTable(frozenset(blanket), by_rule)
+            if lineno == 1:
+                file_level = by_rule[lineno]
+    return SuppressionTable(frozenset(blanket), by_rule,
+                            file_level=file_level)

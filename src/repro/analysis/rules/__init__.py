@@ -18,6 +18,9 @@ from .r008_tracer_discipline import TracerDisciplineRule
 from .r009_pool_discipline import PoolDisciplineRule
 from .r010_vectorization import VectorizationDisciplineRule
 from .r011_dynamic_mutation import DynamicMutationRule
+from .r012_kwarg_threading import KwargThreadingRule
+from .r013_exception_flow import ExceptionFlowRule
+from .r014_spawn_payload import SpawnPayloadRule
 
 __all__ = [
     "ALL_RULES",
@@ -33,6 +36,9 @@ __all__ = [
     "PoolDisciplineRule",
     "VectorizationDisciplineRule",
     "DynamicMutationRule",
+    "KwargThreadingRule",
+    "ExceptionFlowRule",
+    "SpawnPayloadRule",
 ]
 
 ALL_RULES = (
@@ -47,6 +53,9 @@ ALL_RULES = (
     PoolDisciplineRule(),
     VectorizationDisciplineRule(),
     DynamicMutationRule(),
+    KwargThreadingRule(),
+    ExceptionFlowRule(),
+    SpawnPayloadRule(),
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

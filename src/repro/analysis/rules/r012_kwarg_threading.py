@@ -1,0 +1,88 @@
+"""R012 — threaded-kwarg completeness across the call graph.
+
+The anytime contract (DESIGN.md, ``repro.resilience.budget``) only
+holds if ``budget=`` reaches every branch-and-bound subtree: a layer
+that accepts a budget but calls a budget-aware callee without
+forwarding it silently detaches that subtree from the deadline, and
+the solver then claims a certified optimum it never had time to earn.
+The same threading argument applies to ``trace=`` (a dropped tracer
+makes a whole phase invisible to ``repro.obs``) and ``engine=`` (a
+dropped engine pin silently falls back to the default kernel, which is
+exactly the class of "benchmarks compare the wrong engine" bug the
+registry was built to prevent).
+
+The rule runs over the resolved call graph: for every edge where the
+*caller* accepts one of the threaded kwargs and the *callee* accepts
+it too, the call expression must forward it — explicitly by keyword,
+via a ``**`` splat, or positionally (the ``mbc_star -> _pipeline``
+hand-off passes thirteen arguments positionally and is still
+complete).  :data:`THREADED_KWARGS` drives the kwarg list and its
+caller-side aliases (``_pipeline`` names its tracer ``tracer``), so
+extending the contract to a new kwarg is a one-line config change.
+
+Unresolved calls never fire — the graph is under-approximate, so a
+missing edge means "could not resolve", not "safe to drop".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import ProgramRule
+from ..findings import Finding
+from ..program import Program, call_passes_kwarg
+
+__all__ = ["KwargThreadingRule", "THREADED_KWARGS"]
+
+#: Canonical kwarg -> accepted parameter spellings on either side of
+#: an edge.  The canonical name comes first; aliases cover renames
+#: that survive in the tree (``_pipeline(tracer=...)``).
+THREADED_KWARGS: dict[str, tuple[str, ...]] = {
+    "budget": ("budget",),
+    "trace": ("trace", "tracer"),
+    "engine": ("engine",),
+}
+
+
+class KwargThreadingRule(ProgramRule):
+    rule_id = "R012"
+    title = "budget/trace/engine kwargs thread through every layer"
+    rationale = (
+        "a layer that accepts budget= but calls a budget-aware callee "
+        "without forwarding it detaches that subtree from the "
+        "deadline — the solve then overruns its SLO or publishes a "
+        "bound the budget never certified; dropped trace/engine pins "
+        "fail the same way, just quieter")
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for edge in program.edges:
+            if edge.kind == "table":
+                continue
+            caller = program.function(edge.caller)
+            callee = program.function(edge.callee)
+            call = program.call_node(edge)
+            if caller is None or callee is None or call is None:
+                continue
+            for canonical, spellings in THREADED_KWARGS.items():
+                caller_param = next(
+                    (s for s in spellings if caller.accepts(s)), None)
+                callee_param = next(
+                    (s for s in spellings if callee.accepts(s)), None)
+                if caller_param is None or callee_param is None:
+                    continue
+                if call_passes_kwarg(call, callee, callee_param,
+                                     edge.bound):
+                    continue
+                yield Finding(
+                    path=edge.path,
+                    line=edge.lineno,
+                    col=call.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{caller.qualname}() accepts "
+                        f"'{caller_param}' but calls "
+                        f"{callee.qualname}() without forwarding "
+                        f"'{callee_param}=' — thread it through or "
+                        f"drop the parameter (THREADED_KWARGS: "
+                        f"{canonical})"),
+                )

@@ -1,0 +1,146 @@
+"""R013 — exception-flow discipline for the anytime contract.
+
+``BudgetExceeded`` is a *control-flow* signal, not an error: it must
+propagate upward until it reaches a frame that owns an incumbent and
+can return the best-so-far answer with ``certified=False``.  Catching
+it anywhere else swallows the deadline — the caller keeps running (or
+worse, publishes a bound as certified) after the budget said stop.
+:data:`BUDGET_CATCH_ALLOWED` enumerates the incumbent-owning
+boundaries, exactly the frames DESIGN.md's anytime section names: the
+resilience package itself, the pool dispatcher/fan-out, and the three
+driver layers that translate the exception into a truncated-but-valid
+result (``pf``, ``mbc_star``, ``dynamic.solver``).
+
+The second prong polices broad handlers in the worker/dispatch paths:
+an ``except Exception`` in any function reachable from a
+``run_*_chunk`` worker entry point (or anywhere in
+``repro.parallel``) must either re-raise or record the failure on the
+result envelope (:data:`RECORDING_CALLS`) — a worker that silently
+eats an exception truncates its chunk's subtree, and the merged
+"optimum" is then wrong with no fault recorded anywhere.  This is the
+silent-truncation failure mode the fault-injection harness
+(``repro.resilience.faults``) exists to surface; the lint closes the
+gap for paths the chaos tests do not reach.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ProgramRule
+from ..findings import Finding
+from ..program import Program, iter_scopes, scope_walk
+
+__all__ = ["ExceptionFlowRule", "BUDGET_CATCH_ALLOWED",
+           "RECORDING_CALLS"]
+
+#: Modules (or package prefixes) allowed to catch ``BudgetExceeded``:
+#: each owns an incumbent and converts the signal into an uncertified
+#: best-so-far result instead of swallowing it.
+BUDGET_CATCH_ALLOWED: frozenset[str] = frozenset({
+    "repro.resilience",
+    "repro.parallel.dispatch",
+    "repro.parallel.engine",
+    "repro.core.pf",
+    "repro.core.mbc_star",
+    "repro.dynamic.solver",
+})
+
+#: Method/function names that count as "recording the failure on the
+#: envelope" inside a broad handler (besides re-raising).
+RECORDING_CALLS: frozenset[str] = frozenset({
+    "record_failure", "record_exception", "abort",
+})
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: ast.expr | None) -> Iterator[str]:
+    """Leaf names of the exception types an ``except`` clause names."""
+    if node is None:
+        return
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            yield from _exception_names(elt)
+    elif isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+
+
+def _module_allowed(module: str) -> bool:
+    return any(
+        module == allowed or module.startswith(allowed + ".")
+        for allowed in BUDGET_CATCH_ALLOWED)
+
+
+def _handler_disposes(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or records on the envelope."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name)
+                    else None)
+            if name in RECORDING_CALLS:
+                return True
+    return False
+
+
+class ExceptionFlowRule(ProgramRule):
+    rule_id = "R013"
+    title = "BudgetExceeded propagates to incumbent-owning frames only"
+    rationale = (
+        "a swallowed BudgetExceeded detaches the caller from the "
+        "deadline and can publish a bound as certified that the "
+        "budget cut short; a broad except in a worker path that "
+        "neither re-raises nor records truncates a chunk's subtree "
+        "with no fault on the envelope — the merged optimum is then "
+        "silently wrong")
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        worker_paths = program.reachable_from(
+            fn.key for fn in program.worker_entry_points())
+        for module in program.modules.values():
+            mod = module.module or module.path
+            for qualname, scope, _cls in iter_scopes(module):
+                key = f"{mod}:{qualname}"
+                in_worker_path = (
+                    mod.startswith("repro.parallel")
+                    or key in worker_paths)
+                for node in scope_walk(scope):
+                    if not isinstance(node, ast.ExceptHandler):
+                        continue
+                    yield from self._check_handler(
+                        module.path, mod, node, in_worker_path)
+
+    def _check_handler(
+        self, path: str, mod: str, handler: ast.ExceptHandler,
+        in_worker_path: bool,
+    ) -> Iterator[Finding]:
+        names = list(_exception_names(handler.type))
+        if "BudgetExceeded" in names and not _module_allowed(mod):
+            yield Finding(
+                path=path, line=handler.lineno,
+                col=handler.col_offset, rule_id=self.rule_id,
+                message=(
+                    f"{mod} catches BudgetExceeded but owns no "
+                    f"incumbent — let it propagate to an allowed "
+                    f"boundary ({', '.join(sorted(BUDGET_CATCH_ALLOWED))})"),
+            )
+        is_broad = handler.type is None or any(
+            name in _BROAD_NAMES for name in names)
+        if is_broad and in_worker_path and \
+                not _handler_disposes(handler):
+            yield Finding(
+                path=path, line=handler.lineno,
+                col=handler.col_offset, rule_id=self.rule_id,
+                message=(
+                    f"broad except in worker/dispatch path ({mod}) "
+                    f"must re-raise or record the failure on the "
+                    f"envelope ({', '.join(sorted(RECORDING_CALLS))}) "
+                    f"— a silent catch truncates the chunk's subtree"),
+            )

@@ -1,0 +1,184 @@
+"""R014 — everything crossing a pool envelope must be picklable.
+
+The parallel engine uses the **spawn** start method (R003's ban on
+fork-captured state depends on it), so every value handed to the pool
+is pickled: the runner callable, each payload chunk, and the
+``initializer``/``initargs`` pair that rebuilds the worker context.
+A lambda, a closure over local state, or a locally defined class
+pickles either not at all (``PicklingError`` at dispatch time, after
+the reduction phases already ran) or — worse — only appears to work
+under fork on a developer laptop and then dies in CI's spawn context.
+
+The rule inspects the arguments that actually cross the boundary:
+
+* ``ResilientDispatcher.run(runner, payloads, ...)`` — the receiver
+  is matched by inferred class name (local construction or parameter
+  annotation), so test doubles named ``ResilientDispatcher`` are
+  policed identically.  ``on_recover=`` is *exempt*: it runs in the
+  parent as part of the rebuild ladder and never crosses the
+  envelope.
+* raw ``Pool(..., initializer=, initargs=)`` construction and the
+  ``imap``/``imap_unordered``/``map_async``/``apply_async`` family
+  (which R009 already confines to ``repro.parallel.dispatch``).
+
+Only *definite* violations fire: a literal ``lambda``, a name bound
+to one, or a reference to a function/class defined inside the
+enclosing scope.  Names that cannot be resolved (parameters threaded
+from a caller, module attributes) are trusted — the caller's own call
+sites are checked where they resolve, keeping the rule quiet on the
+under-approximate parts of the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ProgramRule
+from ..findings import Finding
+from ..program import (
+    DISPATCH_CLASSES,
+    Program,
+    ScopeBindings,
+    iter_scopes,
+    scan_bindings,
+    scope_walk,
+)
+
+__all__ = ["SpawnPayloadRule", "ENVELOPE_KEYWORDS"]
+
+#: Keyword arguments whose values cross the pool envelope.
+ENVELOPE_KEYWORDS = frozenset({
+    "runner", "payloads", "initializer", "initargs", "func",
+    "iterable", "args",
+})
+
+#: attr name -> positional indices of envelope-crossing arguments.
+_SEAM_POSITIONS: dict[str, tuple[int, ...]] = {
+    "run": (0, 1),
+    "imap": (0, 1),
+    "imap_unordered": (0, 1),
+    "map_async": (0, 1),
+    "apply_async": (0, 1),
+    "Pool": (1, 2),
+}
+
+_POOL_FAMILY = frozenset({
+    "imap", "imap_unordered", "map_async", "apply_async", "Pool"})
+
+
+def _local_definitions(scope: ast.AST) -> frozenset[str]:
+    """Names of functions/classes defined *inside* ``scope``."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if node is scope:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+    return frozenset(names)
+
+
+def _lambda_names(scope: ast.AST) -> frozenset[str]:
+    """Local names bound directly to a ``lambda``."""
+    names: set[str] = set()
+    for node in scope_walk(scope):
+        if isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+class SpawnPayloadRule(ProgramRule):
+    rule_id = "R014"
+    title = "pool envelopes carry only picklable runners and payloads"
+    rationale = (
+        "the spawn start method pickles everything crossing the pool "
+        "boundary; a lambda or locally defined callable dispatches "
+        "fine under fork on a laptop and raises PicklingError in "
+        "CI's spawn context — after the expensive reduction phases "
+        "already ran")
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for module in program.modules.values():
+            mod = module.module or module.path
+            for qualname, scope, _cls in iter_scopes(module):
+                owner = program.function(f"{mod}:{qualname}")
+                bindings = scan_bindings(program, mod, scope, owner)
+                # Module-level defs pickle by qualified name; only
+                # *function-local* definitions are spawn-hostile.
+                locals_ = (
+                    _local_definitions(scope)
+                    if isinstance(scope, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                    else frozenset())
+                lambdas = _lambda_names(scope)
+                for node in scope_walk(scope):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    yield from self._check_call(
+                        module.path, node, bindings, locals_,
+                        lambdas)
+
+    def _is_seam(self, call: ast.Call,
+                 bindings: ScopeBindings) -> str | None:
+        """The seam method name when ``call`` crosses an envelope."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return "Pool" if func.id == "Pool" else None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        if attr in _POOL_FAMILY:
+            return attr
+        if attr == "run":
+            base = func.value
+            if isinstance(base, ast.Name) and bindings.instances.get(
+                    base.id) in DISPATCH_CLASSES:
+                return attr
+        return None
+
+    def _check_call(
+        self, path: str, call: ast.Call, bindings: ScopeBindings,
+        local_defs: frozenset[str], lambda_names: frozenset[str],
+    ) -> Iterator[Finding]:
+        seam = self._is_seam(call, bindings)
+        if seam is None:
+            return
+        positions = _SEAM_POSITIONS[seam]
+        crossing: list[ast.expr] = [
+            call.args[i] for i in positions if i < len(call.args)]
+        crossing.extend(
+            kw.value for kw in call.keywords
+            if kw.arg in ENVELOPE_KEYWORDS)
+        for expr in crossing:
+            yield from self._check_expr(
+                path, seam, expr, local_defs, lambda_names)
+
+    def _check_expr(
+        self, path: str, seam: str, expr: ast.expr,
+        local_defs: frozenset[str], lambda_names: frozenset[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(expr):
+            reason = None
+            if isinstance(node, ast.Lambda):
+                reason = "a lambda"
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load):
+                if node.id in lambda_names:
+                    reason = f"'{node.id}' (bound to a lambda)"
+                elif node.id in local_defs:
+                    reason = (f"'{node.id}' (defined in the "
+                              f"enclosing scope)")
+            if reason is None:
+                continue
+            yield Finding(
+                path=path, line=node.lineno, col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{reason} cannot cross the spawn pool envelope "
+                    f"via {seam}() — hoist it to a module-level "
+                    f"def so it pickles"),
+            )

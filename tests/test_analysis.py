@@ -21,10 +21,13 @@ import pytest
 from repro.analysis import (
     ALL_RULES,
     RULES_BY_ID,
+    CALLGRAPH_SCHEMA_VERSION,
     Finding,
     JSON_SCHEMA_VERSION,
+    build_program,
     lint_paths,
     lint_source,
+    lint_sources,
     parse_pragmas,
     render_json,
     render_text,
@@ -34,11 +37,14 @@ from repro.analysis.engine import (
     ModuleInfo,
     _module_name_for,
     iter_python_files,
+    load_module,
 )
+from repro.analysis.program import call_passes_kwarg
 from repro.cli import main as repro_main
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SRC = str(REPO_ROOT / "src")
+BENCHMARKS = str(REPO_ROOT / "benchmarks")
 
 
 def rule_hits(source: str, module: str, rule_id: str) -> list[Finding]:
@@ -73,6 +79,29 @@ class TestPragmas:
         table = parse_pragmas("x = 1  # repro: the solver\n")
         assert not table.is_suppressed(1, "R001")
 
+    def test_line_one_pragma_applies_module_wide(self):
+        table = parse_pragmas(
+            "# fixture ships a lambda  # repro: noqa R014\n"
+            "x = 1\ny = 2\n")
+        assert table.is_suppressed(1, "R014")
+        assert table.is_suppressed(3, "R014")
+        assert not table.is_suppressed(3, "R012")
+        assert table.file_level == frozenset({"R014"})
+
+    def test_file_level_pragma_only_on_line_one(self):
+        table = parse_pragmas(
+            "x = 1\ny = 2  # repro: noqa R014\nz = 3\n")
+        assert table.is_suppressed(2, "R014")
+        assert not table.is_suppressed(3, "R014")
+        assert table.file_level == frozenset()
+
+    def test_line_one_blanket_stays_line_scoped(self):
+        # Only the coded form escalates to file scope: a blanket
+        # pragma silencing a whole file would be unauditable.
+        table = parse_pragmas("# repro: noqa\nx = 1\n")
+        assert table.is_suppressed(1, "R012")
+        assert not table.is_suppressed(2, "R012")
+
 
 class TestModuleNames:
     @pytest.mark.parametrize("path,expected,is_init", [
@@ -81,6 +110,10 @@ class TestModuleNames:
         ("src/repro/kernels/__init__.py", "repro.kernels", True),
         ("src/repro/cli.py", "repro.cli", False),
         ("tests/test_cli.py", None, False),
+        ("benchmarks/bench_kernels.py", "benchmarks.bench_kernels",
+         False),
+        ("benchmarks/__init__.py", "benchmarks", True),
+        ("examples/quickstart.py", None, False),
     ])
     def test_derivation(self, path, expected, is_init):
         module, init = _module_name_for(path)
@@ -156,9 +189,9 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_eleven_rules_with_unique_ids(self):
+    def test_fourteen_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 11
+        assert len(ids) == len(set(ids)) == 14
         assert ids == sorted(ids)
 
     def test_every_rule_documented(self):
@@ -489,6 +522,83 @@ class DynamicSolver:
 '''
 
 
+R012_BAD = '''\
+"""Fixture."""
+__all__ = ["outer"]
+
+
+def _inner(n: int, budget: "Budget | None" = None) -> int:
+    return n
+
+
+def outer(n: int, budget: "Budget | None" = None) -> int:
+    return _inner(n)
+'''
+
+R012_CLEAN = '''\
+"""Fixture."""
+__all__ = ["outer"]
+
+
+def _inner(n: int, budget: "Budget | None" = None) -> int:
+    return n
+
+
+def outer(n: int, budget: "Budget | None" = None) -> int:
+    return _inner(n, budget)
+'''
+
+R013_BAD = '''\
+"""Fixture."""
+from ..resilience.budget import BudgetExceeded
+
+__all__ = ["guarded"]
+
+
+def guarded(n: int) -> int:
+    try:
+        return n
+    except BudgetExceeded:
+        return 0
+'''
+
+R013_CLEAN = '''\
+"""Fixture."""
+__all__ = ["guarded"]
+
+
+def guarded(n: int) -> int:
+    try:
+        return n
+    except ValueError:
+        raise
+'''
+
+R014_BAD = '''\
+"""Fixture."""
+from .dispatch import ResilientDispatcher
+
+__all__ = ["sweep"]
+
+
+def sweep(dispatcher: ResilientDispatcher,
+          chunks: "list[list[int]]") -> "list[int]":
+    return list(dispatcher.run(lambda c: c, chunks))
+'''
+
+R014_CLEAN = '''\
+"""Fixture."""
+from .dispatch import ResilientDispatcher
+
+__all__ = ["sweep"]
+
+
+def sweep(dispatcher: ResilientDispatcher, runner: object,
+          chunks: "list[list[int]]") -> "list[int]":
+    return list(dispatcher.run(runner, chunks))
+'''
+
+
 def _with_pragma(source: str, line_fragment: str, rule_id: str) -> str:
     """Append a noqa pragma to the first line containing the fragment."""
     lines = source.splitlines()
@@ -523,6 +633,13 @@ RULE_FIXTURES = [
      "for row in mat:", R010_CLEAN),
     ("R011", "repro.dynamic.fixture", R011_BAD,
      "self._graph.remove_edge(u, v)", R011_CLEAN),
+    ("R012", "repro.core.fixture", R012_BAD,
+     "return _inner(n)", R012_CLEAN),
+    ("R013", "repro.dichromatic.fixture", R013_BAD,
+     "except BudgetExceeded:", R013_CLEAN),
+    ("R014", "repro.parallel.fixture", R014_BAD,
+     "return list(dispatcher.run(lambda c: c, chunks))",
+     R014_CLEAN),
 ]
 
 
@@ -691,12 +808,279 @@ class TestRuleScoping:
 
 
 # ---------------------------------------------------------------------------
+# the whole-program layer: call-graph builder units
+
+
+def _program_of(sources: dict[str, str]):
+    modules = []
+    for name, source in sources.items():
+        is_init = name.endswith("/__init__")
+        module = name[:-len("/__init__")] if is_init else name
+        modules.append(ModuleInfo.from_source(
+            source, path=f"<memory:{module}>", module=module,
+            is_package_init=is_init))
+    return build_program(modules)
+
+
+class TestProgramBuilder:
+    def test_direct_call_and_from_import_alias(self):
+        program = _program_of({
+            "repro.core.a": "def f(n: int) -> int:\n    return n\n",
+            "repro.core.b": (
+                "from .a import f as renamed\n"
+                "def g(n: int) -> int:\n    return renamed(n)\n"),
+        })
+        edges = {(e.caller, e.callee) for e in program.edges}
+        assert ("repro.core.b:g", "repro.core.a:f") in edges
+
+    def test_reexport_chain_through_package_init(self):
+        program = _program_of({
+            "repro.dichromatic.mdc":
+                "def solve_mdc(n: int) -> int:\n    return n\n",
+            "repro.dichromatic/__init__":
+                "from .mdc import solve_mdc\n",
+            "repro.core.driver": (
+                "from ..dichromatic import solve_mdc\n"
+                "def drive(n: int) -> int:\n"
+                "    return solve_mdc(n)\n"),
+        })
+        edges = {(e.caller, e.callee) for e in program.edges}
+        assert ("repro.core.driver:drive",
+                "repro.dichromatic.mdc:solve_mdc") in edges
+
+    def test_conditional_dispatch_yields_both_candidates(self):
+        program = _program_of({
+            "repro.parallel.worker": (
+                "def _np(n: int) -> int:\n    return n\n"
+                "def _bits(n: int) -> int:\n    return n\n"
+                "def run(n: int, engine: str) -> int:\n"
+                "    solver = _np if engine == 'numpy' else _bits\n"
+                "    return solver(n)\n"),
+        })
+        edges = {(e.caller, e.callee, e.kind)
+                 for e in program.edges}
+        assert ("repro.parallel.worker:run",
+                "repro.parallel.worker:_np", "dispatch") in edges
+        assert ("repro.parallel.worker:run",
+                "repro.parallel.worker:_bits", "dispatch") in edges
+
+    def test_registry_table_edges(self):
+        program = _program_of({
+            "repro.cli": (
+                "def _cmd_a() -> int:\n    return 0\n"
+                "def _cmd_b() -> int:\n    return 1\n"
+                "_COMMANDS = {'a': _cmd_a, 'b': _cmd_b}\n"),
+        })
+        edges = {(e.caller, e.callee, e.kind)
+                 for e in program.edges}
+        assert ("repro.cli:<module>", "repro.cli:_cmd_a",
+                "table") in edges
+        assert ("repro.cli:<module>", "repro.cli:_cmd_b",
+                "table") in edges
+
+    def test_method_resolution_through_local_construction(self):
+        program = _program_of({
+            "repro.parallel.dispatch": (
+                "class ResilientDispatcher:\n"
+                "    def run(self, runner: object,\n"
+                "            payloads: object) -> list:\n"
+                "        return []\n"),
+            "repro.parallel.engine": (
+                "from .dispatch import ResilientDispatcher\n"
+                "def fanout(chunks: list) -> list:\n"
+                "    d = ResilientDispatcher()\n"
+                "    return d.run(fanout, chunks)\n"),
+        })
+        edges = {(e.caller, e.callee) for e in program.edges}
+        assert (
+            "repro.parallel.engine:fanout",
+            "repro.parallel.dispatch:ResilientDispatcher.run",
+        ) in edges
+
+    def test_worker_entry_points_and_reachability(self):
+        program = _program_of({
+            "repro.parallel.worker": (
+                "def _ego(n: int) -> int:\n    return n\n"
+                "def run_mdc_chunk(chunk: list) -> int:\n"
+                "    return _ego(len(chunk))\n"),
+        })
+        entries = [fn.key for fn in program.worker_entry_points()]
+        assert entries == ["repro.parallel.worker:run_mdc_chunk"]
+        reach = program.reachable_from(entries)
+        assert "repro.parallel.worker:_ego" in reach
+
+    def test_classmethod_positional_coverage(self):
+        # capture(best, budget) passes budget positionally even
+        # though ``cls`` occupies slot zero of the def.
+        program = _program_of({
+            "repro.core.result": (
+                "class SolveResult:\n"
+                "    @classmethod\n"
+                "    def capture(cls, clique: object,\n"
+                "                budget: object) -> object:\n"
+                "        return cls\n"),
+        })
+        fn = program.function(
+            "repro.core.result:SolveResult.capture")
+        assert fn is not None and fn.is_classmethod
+        assert fn.positional_index("budget", bound=False) == 1
+
+    def test_call_passes_kwarg_forms(self):
+        import ast as ast_mod
+        program = _program_of({
+            "repro.core.a": (
+                "def f(n: int, budget: object = None) -> int:\n"
+                "    return n\n"),
+        })
+        fn = program.function("repro.core.a:f")
+
+        def call(src):
+            return ast_mod.parse(src, mode="eval").body
+
+        assert call_passes_kwarg(
+            call("f(1, budget=b)"), fn, "budget", False)
+        assert call_passes_kwarg(
+            call("f(1, b)"), fn, "budget", False)
+        assert call_passes_kwarg(
+            call("f(**kw)"), fn, "budget", False)
+        assert not call_passes_kwarg(
+            call("f(1)"), fn, "budget", False)
+
+    def test_real_tree_graph_is_nontrivially_connected(self):
+        modules = [
+            m for m in (load_module(p)
+                        for p in iter_python_files([SRC]))
+            if isinstance(m, ModuleInfo)]
+        program = build_program(modules)
+        assert len(program.functions) > 300
+        assert len(program.edges) > 500
+        kinds = {e.kind for e in program.edges}
+        assert kinds == {"call", "dispatch", "table"}
+
+
+class TestProgramRulesCrossModule:
+    def test_r012_fires_across_modules(self):
+        findings = lint_sources({
+            "repro.dichromatic.mdc": (
+                '"""Fixture."""\n'
+                '__all__ = ["solve_mdc"]\n'
+                "def solve_mdc(n: int,\n"
+                '              budget: "Budget | None" = None'
+                ") -> int:\n"
+                "    return n\n"),
+            "repro.core.driver": (
+                '"""Fixture."""\n'
+                '__all__ = ["drive"]\n'
+                "from ..dichromatic.mdc import solve_mdc\n"
+                "def drive(n: int,\n"
+                '          budget: "Budget | None" = None) -> int:\n'
+                "    return solve_mdc(n)\n"),
+        })
+        r12 = [f for f in findings if f.rule_id == "R012"]
+        assert len(r12) == 1
+        assert "driver" in r12[0].path
+
+    def test_r012_respects_tracer_alias(self):
+        findings = lint_sources({
+            "repro.core.mbc": (
+                '"""Fixture."""\n'
+                '__all__ = ["mbc"]\n'
+                "def _pipeline(n: int,\n"
+                '              tracer: "Tracer | None" = None'
+                ") -> int:\n"
+                "    return n\n"
+                "def mbc(n: int,\n"
+                '        trace: "Tracer | None" = None) -> int:\n'
+                "    return _pipeline(n, trace)\n"),
+        })
+        assert [f for f in findings if f.rule_id == "R012"] == []
+
+    def test_r013_allows_incumbent_owning_modules(self):
+        source = (
+            '"""Fixture."""\n'
+            '__all__ = ["guarded"]\n'
+            "def guarded(n: int) -> int:\n"
+            "    try:\n"
+            "        return n\n"
+            "    except BudgetExceeded:\n"
+            "        return 0\n")
+        assert rule_hits(source, "repro.core.mbc_star", "R013") == []
+        assert rule_hits(source, "repro.resilience.budget",
+                         "R013") == []
+        assert rule_hits(source, "repro.dichromatic.mdc", "R013")
+
+    def test_r013_broad_handler_that_records_is_legal(self):
+        source = (
+            '"""Fixture."""\n'
+            '__all__ = ["run_fix_chunk"]\n'
+            "def run_fix_chunk(chunk: list,\n"
+            "                  envelope: object) -> int:\n"
+            "    try:\n"
+            "        return len(chunk)\n"
+            "    except Exception as exc:\n"
+            "        envelope.record_failure(exc)\n"
+            "        return 0\n")
+        assert rule_hits(source, "repro.parallel.fixture",
+                         "R013") == []
+
+    def test_r013_broad_handler_outside_worker_paths_is_legal(self):
+        source = (
+            '"""Fixture."""\n'
+            '__all__ = ["load"]\n'
+            "def load(path: str) -> str:\n"
+            "    try:\n"
+            "        return path\n"
+            "    except Exception:\n"
+            "        return ''\n")
+        assert rule_hits(source, "repro.datasets.fixture",
+                         "R013") == []
+
+    def test_r014_parent_side_on_recover_lambda_is_legal(self):
+        source = (
+            '"""Fixture."""\n'
+            "from .dispatch import ResilientDispatcher\n"
+            '__all__ = ["sweep"]\n'
+            "def sweep(dispatcher: ResilientDispatcher,\n"
+            "          runner: object, chunks: list,\n"
+            "          incumbent: object) -> list:\n"
+            "    return list(dispatcher.run(\n"
+            "        runner, chunks,\n"
+            "        on_recover=lambda: incumbent.reset()))\n")
+        assert rule_hits(source, "repro.parallel.fixture",
+                         "R014") == []
+
+    def test_r014_nested_def_payload_fires(self):
+        source = (
+            '"""Fixture."""\n'
+            "from .dispatch import ResilientDispatcher\n"
+            '__all__ = ["sweep"]\n'
+            "def sweep(dispatcher: ResilientDispatcher,\n"
+            "          runner: object) -> list:\n"
+            "    def _make(i: int) -> int:\n"
+            "        return i\n"
+            "    return list(dispatcher.run(runner, [_make]))\n")
+        hits = rule_hits(source, "repro.parallel.fixture", "R014")
+        assert hits and "_make" in hits[0].message
+
+    def test_r014_file_level_pragma_silences_fixture_module(self):
+        silenced = (
+            "# chaos fixture ships a lambda on purpose  "
+            "# repro: noqa R014\n") + R014_BAD
+        assert rule_hits(silenced, "repro.parallel.fixture",
+                         "R014") == []
+
+
+# ---------------------------------------------------------------------------
 # the repository is its own fixture
 
 
 class TestSelfCheck:
     def test_repo_is_lint_clean(self):
         findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_benchmarks_are_lint_clean_under_all_rules(self):
+        findings = lint_paths([SRC, BENCHMARKS])
         assert findings == [], "\n".join(f.render() for f in findings)
 
     def test_iter_python_files_sees_the_stack(self):
@@ -771,3 +1155,41 @@ class TestCli:
     def test_repro_cli_lint_usage_error(self, capsys):
         assert repro_main(["lint", "--rule", "R999", SRC]) == 2
         capsys.readouterr()
+
+
+class TestCallgraphCli:
+    def test_json_export_schema(self, capsys):
+        assert repro_main(["callgraph", SRC]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == CALLGRAPH_SCHEMA_VERSION
+        assert document["root_paths"] == [SRC]
+        assert set(document["counts"]) == {
+            "modules", "functions", "edges"}
+        assert document["counts"]["edges"] > 500
+        (node,) = document["nodes"][:1]
+        assert set(node) == {
+            "id", "module", "qualname", "path", "line", "params"}
+        (edge,) = document["edges"][:1]
+        assert set(edge) == {"caller", "callee", "path", "line",
+                             "kind"}
+
+    def test_dot_export(self, capsys):
+        assert repro_main(
+            ["callgraph", SRC, "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph callgraph {")
+        assert "->" in out
+
+    def test_missing_path_usage_error(self, capsys):
+        assert repro_main(
+            ["callgraph", "definitely/not/a/path"]) == 2
+        capsys.readouterr()
+
+    def test_syntax_error_is_skipped_not_fatal(self, tmp_path,
+                                               capsys):
+        bad = tmp_path / "repro" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(:\n")
+        assert repro_main(["callgraph", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping unparsable" in captured.err
