@@ -18,6 +18,11 @@ silently invert it)::
         core                     (MBC*/PF*/gMBC* drivers)
       ^        ^
  baselines  datasets             (comparison code and stand-ins)
+      ^        ^
+       dynamic                   (incremental re-solving over edits)
+      ^        ^
+        serve                    (HTTP daemon: cache + registry +
+                                  worker pool over everything below)
 
 ``repro.obs`` is the one layer *every* solver package may import — it
 is how the tracer threads through the stack without new edges — and
@@ -78,6 +83,10 @@ ALLOWED_PACKAGE_IMPORTS: dict[str, frozenset[str]] = {
          "repro.metrics", "repro.obs", "repro.resilience"}),
     "repro.datasets": frozenset(
         {"repro.kernels", "repro.signed", "repro.obs"}),
+    "repro.serve": frozenset(
+        {"repro.kernels", "repro.signed", "repro.core",
+         "repro.dynamic", "repro.datasets", "repro.obs",
+         "repro.resilience"}),
     "repro.analysis": frozenset(),
 }
 

@@ -50,7 +50,7 @@ TRACED_PACKAGES = frozenset({
     "repro.kernels", "repro.signed", "repro.unsigned",
     "repro.dichromatic", "repro.metrics", "repro.parallel",
     "repro.core", "repro.baselines", "repro.datasets",
-    "repro.dynamic",
+    "repro.dynamic", "repro.serve",
 })
 
 

@@ -12,6 +12,9 @@ Installed as ``repro`` (also ``python -m repro``).  Subcommands:
   (see ``docs/DYNAMIC.md``);
 * ``repro stats GRAPH`` — dataset statistics (Table I columns);
 * ``repro generate NAME OUT`` — write a stand-in dataset to a file;
+* ``repro serve --port 8080`` — the async HTTP solve service:
+  JSON requests in, cached/coalesced solves out
+  (see ``docs/SERVING.md``);
 * ``repro lint [PATHS]`` — the repo-specific invariant linter
   (see ``docs/STATIC_ANALYSIS.md``);
 * ``repro callgraph [PATHS]`` — the whole-program call graph the
@@ -185,6 +188,26 @@ def build_parser() -> argparse.ArgumentParser:
     callgraph.add_argument(
         "--format", choices=["json", "dot"], default="json",
         dest="fmt", help="export format (default: json)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP solve service (see docs/SERVING.md)")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (default 8080; 0 picks an ephemeral port)")
+    serve.add_argument(
+        "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
+        help="default kernel backend for requests that don't name one")
+    serve.add_argument(
+        "--pool", type=int, default=None, metavar="N",
+        help="worker threads running solves (default 4)")
+    serve.add_argument(
+        "--cache-size", type=int, default=None, dest="cache_size",
+        metavar="N",
+        help="result-cache capacity in entries (default 1024)")
 
     return parser
 
@@ -464,6 +487,41 @@ def _cmd_callgraph(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import (
+        DEFAULT_CACHE_CAPACITY,
+        DEFAULT_POOL_SIZE,
+        ServeApp,
+        SolverService,
+    )
+
+    service = SolverService(
+        default_engine=args.engine,
+        cache_capacity=(DEFAULT_CACHE_CAPACITY
+                        if args.cache_size is None
+                        else args.cache_size))
+    app = ServeApp(
+        service, host=args.host, port=args.port,
+        pool_size=(DEFAULT_POOL_SIZE if args.pool is None
+                   else args.pool))
+
+    async def _serve() -> None:
+        await app.start()
+        print(f"repro serve listening on "
+              f"http://{app.host}:{app.port} "
+              f"(engine={args.engine}, "
+              f"cache={service.cache.capacity})")
+        await app.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 _COMMANDS = {
     "mbc": _cmd_mbc,
     "mbc-star": _cmd_mbc,
@@ -478,6 +536,7 @@ _COMMANDS = {
     "balance": _cmd_balance,
     "lint": _cmd_lint,
     "callgraph": _cmd_callgraph,
+    "serve": _cmd_serve,
 }
 
 

@@ -267,3 +267,121 @@ class TestDynamicDifferential:
     def test_edit_scripts_match_under_fanout(self, seed):
         for engine in PARALLEL_ENGINES:
             self._run_script(seed, engine, workers=2)
+
+
+class TestServeDifferential:
+    """Served answers must equal direct in-process solves.
+
+    For a seeded family of random graphs, every answer the HTTP
+    daemon returns — a cold solve, a cache hit, and a post-edit solve
+    against a registered resident graph — is compared against the
+    corresponding direct library call, across every available engine
+    and all three problems.  This is the proof that the serving layer
+    (wire codec, cache keying, coalescing, resident solvers) is a
+    transport, not a second solver.
+    """
+
+    EDITS = 6
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.serve import BackgroundServer, SolverService
+
+        with BackgroundServer(SolverService()) as running:
+            yield running
+
+    def _solve(self, server, payload: dict) -> dict:
+        from .test_serve import post
+
+        status, body = post(server, "/solve", payload)
+        assert status == 200, body
+        assert body["status"] == "optimal"
+        return body
+
+    def _check_problems(self, server, spec, graph: SignedGraph,
+                        tau: int, engine: str, context: str) -> None:
+        from repro.core.gmbc import gmbc_star
+        from repro.core.result import SolveResult
+
+        body = self._solve(server, {
+            "graph": spec, "problem": "mbc", "tau": tau,
+            "engine": engine})
+        served = SolveResult.from_json(body["result"])
+        direct = mbc_star(graph, tau, engine=engine)
+        assert served.clique.size == direct.size, context
+        assert_valid(served.clique, graph, tau)
+
+        body = self._solve(server, {
+            "graph": spec, "problem": "pf", "engine": engine})
+        assert body["beta"] == pf_star(graph, engine=engine), context
+        witness = SolveResult.from_json(body["result"]).clique
+        if not witness.is_empty:
+            assert witness.polarization >= body["beta"]
+            assert_valid(witness, graph, 0)
+
+        body = self._solve(server, {
+            "graph": spec, "problem": "gmbc", "engine": engine})
+        direct_sweep = gmbc_star(graph, engine=engine)
+        assert len(body["result"]["cliques"]) == len(direct_sweep), \
+            context
+        for sweep_tau, (payload, clique) in enumerate(
+                zip(body["result"]["cliques"], direct_sweep)):
+            assert BalancedClique.from_json(payload).size == \
+                clique.size, f"{context} tau={sweep_tau}"
+
+    @pytest.mark.parametrize(
+        "seed", range(BASE_SEED, BASE_SEED + SWEEP, SWEEP // 10))
+    def test_cold_and_cached_answers_match_direct(self, server, seed):
+        from repro.serve.protocol import graph_from_inline
+
+        from .test_serve import edges_of, post
+
+        tau = seed % 3
+        spec = {"edges": edges_of(random_graph(seed))}
+        # The serve daemon parses inline edges through read_edge_list,
+        # which ids vertices by first appearance — the in-process
+        # reference must be the graph parsed the same way, not the
+        # pre-serialisation original.
+        graph = graph_from_inline(spec)
+        for engine in SOLVER_ENGINES:
+            post(server, "/cache/clear", {})
+            self._check_problems(
+                server, spec, graph, tau, engine,
+                f"seed={seed} engine={engine} cold")
+            # Second pass answers from the cache; must be identical.
+            self._check_problems(
+                server, spec, graph, tau, engine,
+                f"seed={seed} engine={engine} cached")
+
+    @pytest.mark.parametrize(
+        "seed", range(BASE_SEED, BASE_SEED + SWEEP, SWEEP // 10))
+    def test_post_edit_answers_match_direct(self, server, seed):
+        from repro.serve.protocol import graph_from_inline
+
+        from .test_serve import edges_of, post
+
+        tau = max(1, seed % 3)
+        spec = {"edges": edges_of(random_graph(seed))}
+        name = f"diff-{seed}"
+        status, _ = post(server, "/graphs", {
+            "name": name, "graph": spec, "tau": tau})
+        assert status == 200
+        # Mirror the server's resident graph locally, parsing the
+        # inline spelling the same way the server does (vertex ids
+        # are assigned by first appearance); random_edits draws each
+        # edit against the *current* state, so apply as we collect.
+        mirror = DynamicSolver(graph_from_inline(spec), tau)
+        lines = []
+        for edit in random_edits(mirror.graph, self.EDITS,
+                                 seed=seed + 1):
+            apply_edit(mirror, edit)
+            lines.append(edit.as_line())
+        status, body = post(server, f"/graphs/{name}/edits", {
+            "edits": lines})
+        assert status == 200, body
+        assert body["applied"] == len(lines)
+        assert body["fingerprint"] == mirror.graph.fingerprint()
+        for engine in SOLVER_ENGINES:
+            self._check_problems(
+                server, f"graph:{name}", mirror.graph, tau, engine,
+                f"seed={seed} engine={engine} post-edit")

@@ -73,3 +73,177 @@ class TestDescribe:
         text = clique.describe(graph)
         assert "alpha" in text
         assert "gamma" in text
+
+
+class TestCliqueCodec:
+    """``BalancedClique.to_json`` / ``from_json`` round trips."""
+
+    def test_round_trip(self):
+        clique = BalancedClique.from_sides({5, 1}, {2, 8})
+        assert BalancedClique.from_json(clique.to_json()) == clique
+
+    def test_round_trip_empty(self):
+        assert BalancedClique.from_json(EMPTY_RESULT.to_json()) == \
+            EMPTY_RESULT
+
+    def test_round_trip_one_sided(self):
+        clique = BalancedClique.from_sides({3, 4, 7}, set())
+        assert BalancedClique.from_json(clique.to_json()) == clique
+
+    def test_wire_form_is_sorted_plain_data(self):
+        payload = BalancedClique.from_sides({9, 1}, {4, 2}).to_json()
+        assert payload == {"left": [1, 9], "right": [2, 4]}
+
+    def test_swapped_sides_decode_canonically(self):
+        decoded = BalancedClique.from_json(
+            {"left": [7, 8], "right": [1, 2]})
+        assert decoded == BalancedClique.from_sides({1, 2}, {7, 8})
+
+    def test_missing_sides_default_empty(self):
+        assert BalancedClique.from_json({}) == EMPTY_RESULT
+
+    def test_rejects_non_object(self):
+        for payload in (None, [1, 2], "clique", 7):
+            with pytest.raises(ValueError):
+                BalancedClique.from_json(payload)
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown clique fields"):
+            BalancedClique.from_json({"left": [1], "middle": [2]})
+
+    def test_rejects_non_integer_vertices(self):
+        for bad in ([1, "2"], [1.5], [True], "not a list"):
+            with pytest.raises(ValueError):
+                BalancedClique.from_json({"left": bad, "right": []})
+
+    def test_rejects_overlapping_sides(self):
+        with pytest.raises(ValueError, match="overlap"):
+            BalancedClique.from_json({"left": [1, 2], "right": [2, 3]})
+
+
+class TestSolveResultCodec:
+    """``SolveResult`` wire form: exhaustive round trips + rejection."""
+
+    def _samples(self):
+        from repro.core.result import SolveResult
+        from repro.resilience.budget import Status
+
+        witness = BalancedClique.from_sides({0, 2}, {1, 5})
+        return [
+            SolveResult(clique=EMPTY_RESULT),
+            SolveResult(clique=witness, lower_bound=4, nodes=17),
+            SolveResult(clique=witness, status=Status.BUDGET_EXHAUSTED,
+                        lower_bound=4, nodes=123456),
+            SolveResult(clique=EMPTY_RESULT,
+                        status=Status.BUDGET_EXHAUSTED,
+                        lower_bound=0, nodes=1),
+            SolveResult(clique=BalancedClique.from_sides({3}, set()),
+                        lower_bound=1, nodes=0),
+        ]
+
+    def test_round_trip_all_statuses(self):
+        from repro.core.result import SolveResult
+
+        for result in self._samples():
+            decoded = SolveResult.from_json(result.to_json())
+            assert decoded == result, result
+
+    def test_wire_form_carries_the_schema_tag(self):
+        from repro.core.result import RESULT_SCHEMA
+
+        for result in self._samples():
+            payload = result.to_json()
+            assert payload["schema"] == RESULT_SCHEMA
+            assert set(payload) == {"schema", "status", "lower_bound",
+                                    "nodes", "clique"}
+
+    def test_json_dumps_round_trip(self):
+        import json
+
+        from repro.core.result import SolveResult
+
+        for result in self._samples():
+            wire = json.dumps(result.to_json(), sort_keys=True)
+            assert SolveResult.from_json(json.loads(wire)) == result
+
+    def test_truncated_result_keeps_its_certificate(self):
+        from repro.core.result import SolveResult
+
+        payload = self._samples()[2].to_json()
+        decoded = SolveResult.from_json(payload)
+        assert not decoded.optimal
+        assert decoded.lower_bound == 4
+        assert decoded.clique.size == 4
+
+    def test_rejects_non_object(self):
+        from repro.core.result import SolveResult
+
+        for payload in (None, [], "result", 3):
+            with pytest.raises(ValueError):
+                SolveResult.from_json(payload)
+
+    def test_rejects_wrong_schema(self):
+        from repro.core.result import SolveResult
+
+        payload = self._samples()[0].to_json()
+        payload["schema"] = "repro.result/99"
+        with pytest.raises(ValueError, match="schema"):
+            SolveResult.from_json(payload)
+
+    def test_rejects_missing_schema(self):
+        from repro.core.result import SolveResult
+
+        payload = self._samples()[0].to_json()
+        del payload["schema"]
+        with pytest.raises(ValueError, match="schema"):
+            SolveResult.from_json(payload)
+
+    def test_rejects_unknown_status(self):
+        from repro.core.result import SolveResult
+
+        payload = self._samples()[0].to_json()
+        payload["status"] = "maybe"
+        with pytest.raises(ValueError, match="status"):
+            SolveResult.from_json(payload)
+
+    def test_rejects_unknown_fields(self):
+        from repro.core.result import SolveResult
+
+        payload = self._samples()[0].to_json()
+        payload["runtime"] = 1.5
+        with pytest.raises(ValueError, match="unknown result fields"):
+            SolveResult.from_json(payload)
+
+    def test_rejects_bad_counters(self):
+        from repro.core.result import SolveResult
+
+        for name, bad in (("lower_bound", -1), ("lower_bound", "4"),
+                          ("nodes", -2), ("nodes", 1.5),
+                          ("nodes", True)):
+            payload = self._samples()[1].to_json()
+            payload[name] = bad
+            with pytest.raises(ValueError, match=name):
+                SolveResult.from_json(payload)
+
+    def test_rejects_malformed_clique(self):
+        from repro.core.result import SolveResult
+
+        payload = self._samples()[1].to_json()
+        payload["clique"] = {"left": [1], "right": [1]}
+        with pytest.raises(ValueError, match="overlap"):
+            SolveResult.from_json(payload)
+
+    def test_capture_then_round_trip(self):
+        from repro.core.result import SolveResult
+        from repro.resilience import Budget
+
+        clique = BalancedClique.from_sides({0, 1}, {2, 3})
+        unbounded = SolveResult.capture(clique, None)
+        assert SolveResult.from_json(unbounded.to_json()) == unbounded
+        assert unbounded.optimal
+
+        budget = Budget(max_nodes=10)
+        budgeted = SolveResult.capture(clique, budget, lower_bound=2)
+        decoded = SolveResult.from_json(budgeted.to_json())
+        assert decoded.lower_bound == 2
+        assert decoded.status is budgeted.status
