@@ -532,7 +532,11 @@ class DynamicSolver:
 
     # -- beta ----------------------------------------------------------
 
-    def beta(self, budget: Budget | None = None) -> int:
+    def beta(
+        self,
+        budget: Budget | None = None,
+        return_witness: bool = False,
+    ) -> "int | tuple[int, BalancedClique]":
         """The polarization factor ``beta(G)`` of the current graph.
 
         Maintains a second per-ego cache of certified gamma bounds
@@ -542,6 +546,12 @@ class DynamicSolver:
         the call.  Under a ``budget`` the returned bar is always
         witness-certified (a valid lower bound on ``beta(G)``) and
         the loop resumes from the cached bounds next call.
+
+        With ``return_witness`` the certifying clique comes back
+        alongside the factor (mirroring
+        :func:`~repro.core.pf.pf_star`): the cached gamma witness
+        whose polarization equals the returned bar, or the empty
+        clique at ``bar == 0``.
         """
         tracer = current_tracer()
         self._sync_external()
@@ -597,7 +607,27 @@ class DynamicSolver:
             tracer.counter("dynamic.gamma_questions").inc(questions)
             span.set(beta=bar, questions=questions,
                      truncated=truncated)
-            return bar
+            if not return_witness:
+                return bar
+            return bar, self._beta_witness(gamma, bar)
+
+    @staticmethod
+    def _beta_witness(gamma: "list[EgoEntry]",
+                      bar: int) -> BalancedClique:
+        """The cached gamma witness backing ``bar``.
+
+        Every raise of the bar stored the clique that achieved it
+        (``lower == witness.polarization``), so at ``bar > 0`` a
+        match always exists; ``bar == 0`` is backed by the empty
+        clique.
+        """
+        if bar > 0:
+            for entry in gamma:
+                witness = entry.witness
+                if witness is not None \
+                        and witness.polarization == bar:
+                    return witness
+        return EMPTY_RESULT
 
     def _probe_context(self) -> WorkerContext | None:
         """In-process worker context for the mask-engine DCC probes.

@@ -26,10 +26,17 @@ thread; only the solver call crosses to the pool):
    truncated solve reports ``status: budget_exhausted`` with the
    certified lower bound (the anytime contract over HTTP).
 
-Requests against a **registered graph** additionally serialise on a
-per-graph lock: the resident :class:`~repro.dynamic.DynamicSolver`
-is single-writer by contract, and edits must never interleave with a
-solve that is reading its bound cache.
+Requests against a **registered graph** run steps 3–5 while holding
+an admission slot plus the graph's per-graph lock.  The lock is
+load-bearing twice over: the resident
+:class:`~repro.dynamic.DynamicSolver` is single-writer by contract,
+and the cache key must name the exact graph version being solved —
+computing the fingerprint *outside* the lock would let a concurrent
+edit slip in between keying and solving, caching the post-edit
+answer under the pre-edit fingerprint.  The admission slot is taken
+*before* the lock so a solve queued behind unrelated load never
+holds the graph hostage: edits bypass admission and wait only for
+actual solving.
 
 Every request runs under its own :class:`~repro.obs.Tracer` span
 (solver spans nest inside via the ``trace=`` kwarg); the buffer is
@@ -41,6 +48,8 @@ worker merge.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import contextlib
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -81,10 +90,16 @@ DEFAULT_MAX_PENDING = 64
 #: Cap on accepted request bodies (16 MiB ≈ a million inline edges).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: Cap on request header lines; each line is further capped at the
+#: stream reader's 64 KiB limit, bounding total header bytes.
+MAX_HEADER_LINES = 100
+
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict",
-    413: "Payload Too Large", 500: "Internal Server Error"}
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error"}
 
 
 class _HttpError(Exception):
@@ -264,6 +279,31 @@ class ServeApp:
         request = parse_solve_request(
             payload, self.service.default_engine)
         graph, registered = await self._resolve(request)
+        if registered is None:
+            # Anonymous graphs are immutable snapshots: their key is
+            # stable, so no lock is needed and the cache/coalesce
+            # lookups can happen before the admission wait.
+            return await self._answer(request, graph, None)
+        # Registered graphs are live.  Admission first, so a solve
+        # queued behind unrelated load never blocks edits (which
+        # bypass admission); then the graph lock; and only then the
+        # fingerprint — the cache key must name the exact graph
+        # version being solved, with no edit able to interleave
+        # before the result is stored under it.
+        async with self._admission:
+            async with self._graph_lock(registered.name):
+                return await self._answer(request, graph, registered)
+
+    async def _answer(
+        self, request: SolveRequest, graph: SignedGraph,
+        registered: "RegisteredGraph | None",
+    ) -> dict:
+        """Cache lookup, coalescing, and the solve for one request.
+
+        For a registered graph the caller holds its admission slot
+        and the graph's lock throughout, so the key computed here is
+        the key of the graph version actually solved and cached.
+        """
         key = self.service.cache_key(graph.fingerprint(), request)
         cached = self.service.cache.get(key)
         if cached is not None:
@@ -272,6 +312,11 @@ class ServeApp:
         coalesce_key = key + request.budget_key()
         inflight = self._inflight.get(coalesce_key)
         if inflight is not None:
+            # The leader never needs the lock this request may hold
+            # (a same-graph registered solve would already hold it,
+            # excluding us), so awaiting here cannot deadlock; its
+            # graph is content-identical and cannot mutate while we
+            # hold ours, so its answer is ours.
             self.service.count("serve.coalesced")
             shared = await asyncio.shield(inflight)
             return {**shared, "cache": "coalesced"}
@@ -314,31 +359,31 @@ class ServeApp:
         self, request: SolveRequest, graph: SignedGraph,
         registered: "RegisteredGraph | None",
     ) -> dict:
-        """Execute one solve on the pool under its request span."""
+        """Execute one solve on the pool under its request span.
+
+        Anonymous solves admit here; registered solves arrive from
+        :meth:`_handle_solve` already holding an admission slot (and
+        their graph lock).
+        """
         budget = self.service.build_budget(request)
         tracer = get_tracer(True)
-        async with self._graph_lock(registered):
-            async with self._admission:
-                with tracer.span(
-                        "serve.request", problem=request.problem,
-                        tau=request.tau,
-                        engine=request.engine) as span:
-                    payload = await self._run_blocking(
-                        self.service.execute, request, graph,
-                        registered, budget, tracer)
-                    span.set(status=payload["status"])
+        admission = (self._admission if registered is None
+                     else contextlib.nullcontext())
+        async with admission:
+            with tracer.span(
+                    "serve.request", problem=request.problem,
+                    tau=request.tau,
+                    engine=request.engine) as span:
+                payload = await self._run_blocking(
+                    self.service.execute, request, graph,
+                    registered, budget, tracer)
+                span.set(status=payload["status"])
         self.service.tracer.absorb(tracer.export_buffer())
         return payload
 
-    def _graph_lock(
-        self, registered: "RegisteredGraph | None",
-    ) -> "asyncio.Lock":
-        """The per-registered-graph writer lock (fresh no-op lock for
-        anonymous graphs — they have no shared mutable state)."""
-        if registered is None:
-            return asyncio.Lock()
-        return self._graph_locks.setdefault(
-            registered.name, asyncio.Lock())
+    def _graph_lock(self, name: str) -> "asyncio.Lock":
+        """The per-registered-graph writer lock."""
+        return self._graph_locks.setdefault(name, asyncio.Lock())
 
     # -- /graphs -------------------------------------------------------
 
@@ -369,7 +414,7 @@ class ServeApp:
         validate_graph_name(name)
         script_text = parse_edits_request(payload)
         registered = self.service.lookup_graph(name)
-        async with self._graph_locks.setdefault(name, asyncio.Lock()):
+        async with self._graph_lock(name):
             return await self._run_blocking(
                 self.service.apply_script, registered, script_text)
 
@@ -393,6 +438,11 @@ async def _read_request(
         line = await reader.readline()
     except (ConnectionError, OSError):
         return None
+    except (ValueError, asyncio.LimitOverrunError):
+        # StreamReader.readline signals a line beyond its 64 KiB
+        # limit with ValueError; answer 400 instead of letting the
+        # connection task die with an unhandled exception.
+        raise _HttpError(400, "request line too long") from None
     if not line:
         return None
     try:
@@ -402,8 +452,12 @@ async def _read_request(
         raise _HttpError(
             400, f"malformed request line: {line!r}") from None
     headers: "dict[str, str]" = {}
-    while True:
-        header = await reader.readline()
+    for _ in range(MAX_HEADER_LINES):
+        try:
+            header = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise _HttpError(
+                431, "request header line too long") from None
         if header in (b"\r\n", b"\n", b""):
             break
         name, sep, value = header.decode("latin-1").partition(":")
@@ -411,6 +465,9 @@ async def _read_request(
             raise _HttpError(
                 400, f"malformed header line: {header!r}")
         headers[name.strip().lower()] = value.strip()
+    else:
+        raise _HttpError(
+            431, f"more than {MAX_HEADER_LINES} request headers")
     length_text = headers.get("content-length", "0")
     try:
         length = int(length_text)
@@ -506,8 +563,14 @@ class BackgroundServer:
         self, coro: "Coroutine[object, object, object]",
     ) -> "object":
         """Run a coroutine on the server loop (test plumbing)."""
-        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
-        return future.result(timeout=60)
+        return self.submit_nowait(coro).result(timeout=60)
+
+    def submit_nowait(
+        self, coro: "Coroutine[object, object, object]",
+    ) -> "concurrent.futures.Future[object]":
+        """Schedule a coroutine on the server loop without waiting
+        (test plumbing for interleaving scenarios)."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
 
     def stop(self) -> None:
         """Shut the daemon down and join its thread."""

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from ..core.gmbc import gmbc_star
 from ..core.mbc_star import mbc_star
 from ..core.pf import pf_star
-from ..core.result import BalancedClique, SolveResult
+from ..core.result import SolveResult
 from ..datasets.registry import dataset_names, load
 from ..dynamic import DynamicSolver, apply_edit, parse_edit_script
 from ..kernels import DEFAULT_ENGINE, engine_spec
@@ -273,8 +273,10 @@ class SolverService:
     ) -> dict:
         """Answer through the resident dynamic solver's bound cache."""
         if request.problem == "pf":
-            beta = registered.solver.beta(budget)
-            witness = BalancedClique()
+            outcome = registered.solver.beta(
+                budget, return_witness=True)
+            assert isinstance(outcome, tuple)
+            beta, witness = outcome
             return {
                 "beta": beta,
                 "result": SolveResult.capture(

@@ -244,6 +244,29 @@ class TestBeta:
         assert 0 <= bar <= exact
         assert solver.beta() == exact
 
+    @pytest.mark.parametrize("engine", SOLVER_ENGINES)
+    def test_beta_witness_backs_the_factor_through_edits(self, engine):
+        graph = random_graph(17)
+        solver = DynamicSolver(graph, tau=1, engine=engine)
+        for edit in random_edits(graph, 8, seed=7):
+            apply_edit(solver, edit)
+            outcome = solver.beta(return_witness=True)
+            assert isinstance(outcome, tuple)
+            bar, witness = outcome
+            assert witness.polarization == bar
+            if bar:
+                # A real balanced clique of the live graph, or raise.
+                BalancedClique.from_vertices(graph, witness.vertices)
+
+    def test_truncated_beta_witness_certifies_the_bar(self):
+        graph = random_graph(19)
+        solver = DynamicSolver(graph, tau=1)
+        outcome = solver.beta(
+            budget=Budget(max_nodes=1), return_witness=True)
+        assert isinstance(outcome, tuple)
+        bar, witness = outcome
+        assert witness.polarization == bar
+
 
 class TestEditScript:
     def test_round_trip(self):

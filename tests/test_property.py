@@ -315,8 +315,10 @@ class TestServeDifferential:
             "graph": spec, "problem": "pf", "engine": engine})
         assert body["beta"] == pf_star(graph, engine=engine), context
         witness = SolveResult.from_json(body["result"]).clique
+        # Every pf path — direct, cached, resident — must back the
+        # bound with a witness achieving it (empty only at beta 0).
+        assert witness.polarization == body["beta"], context
         if not witness.is_empty:
-            assert witness.polarization >= body["beta"]
             assert_valid(witness, graph, 0)
 
         body = self._solve(server, {

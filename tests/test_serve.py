@@ -13,9 +13,11 @@ regardless of what earlier requests on the same fixture did.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -94,6 +96,22 @@ def counter_delta(before: "dict[str, int]", after: "dict[str, int]",
     return after.get(name, 0) - before.get(name, 0)
 
 
+def read_raw_response(sock: socket.socket) -> "tuple[int, dict]":
+    """Read one framed HTTP response off a raw socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        data += sock.recv(4096)
+    head, _, rest = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = next(
+        int(line.split(b":")[1])
+        for line in head.split(b"\r\n")
+        if line.lower().startswith(b"content-length"))
+    while len(rest) < length:
+        rest += sock.recv(4096)
+    return status, json.loads(rest[:length])
+
+
 # -- routing and transport ---------------------------------------------
 
 
@@ -157,18 +175,7 @@ class TestKeepAlive:
                 + connection + b"\r\n" + body)
 
     def _read_response(self, sock: socket.socket) -> "tuple[int, dict]":
-        data = b""
-        while b"\r\n\r\n" not in data:
-            data += sock.recv(4096)
-        head, _, rest = data.partition(b"\r\n\r\n")
-        status = int(head.split(b" ", 2)[1])
-        length = next(
-            int(line.split(b":")[1])
-            for line in head.split(b"\r\n")
-            if line.lower().startswith(b"content-length"))
-        while len(rest) < length:
-            rest += sock.recv(4096)
-        return status, json.loads(rest[:length])
+        return read_raw_response(sock)
 
     def test_two_requests_on_one_connection(self, server):
         payload = {"graph": {"edges": FACTIONS}, "problem": "mbc",
@@ -193,6 +200,61 @@ class TestKeepAlive:
             assert status == 200
             sock.settimeout(10)
             assert sock.recv(4096) == b""  # server closed its side
+
+
+class TestTransportLimits:
+    """Oversized framing answers a 4xx and closes — never a dropped
+    connection with an unhandled task exception (the StreamReader
+    64 KiB line limit surfaces as ValueError from readline)."""
+
+    def _exchange(self, server, data: bytes) -> "tuple[int, dict]":
+        with socket.create_connection(
+                (server.app.host, server.app.port),
+                timeout=30) as sock:
+            sock.sendall(data)
+            status, body = read_raw_response(sock)
+            sock.settimeout(10)
+            try:
+                trailing = sock.recv(4096)
+            except ConnectionError:
+                trailing = b""  # reset counts as closed
+            assert trailing == b""  # server closed its side
+        return status, body
+
+    def test_oversized_request_line_is_400(self, server):
+        status, body = self._exchange(
+            server, b"GET /" + b"a" * 70_000 + b" HTTP/1.1\r\n\r\n")
+        assert status == 400
+        assert "request line" in body["error"]
+
+    def test_oversized_header_line_is_431(self, server):
+        status, body = self._exchange(
+            server,
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+            b"X-Pad: " + b"a" * 70_000 + b"\r\n\r\n")
+        assert status == 431
+        assert "header line" in body["error"]
+
+    def test_too_many_headers_is_431(self, server):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % index for index in range(150))
+        status, body = self._exchange(
+            server,
+            b"GET /healthz HTTP/1.1\r\n" + headers + b"\r\n")
+        assert status == 431
+        assert "headers" in body["error"]
+
+    def test_header_count_under_the_cap_still_serves(self, server):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % index for index in range(50))
+        with socket.create_connection(
+                (server.app.host, server.app.port),
+                timeout=30) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n" + headers + b"\r\n")
+            status, body = read_raw_response(sock)
+        assert status == 200
+        assert body["status"] == "ok"
 
 
 # -- request validation ------------------------------------------------
@@ -589,6 +651,26 @@ class TestRegistry:
         assert body["resident"] is False
         assert SolveResult.from_json(body["result"]).clique.size == 6
 
+    def test_resident_pf_answer_carries_witness(self, server):
+        # The resident solver's beta() must back its bound with the
+        # same witness contract the direct pf_star path has — and the
+        # cached payload must replay that witness to inline requests
+        # for content-identical graphs.
+        self._register(server)
+        status, body = post(server, "/solve", {
+            "graph": "graph:g", "problem": "pf"})
+        assert status == 200
+        assert body["resident"] is True
+        assert body["beta"] == 3
+        served = SolveResult.from_json(body["result"])
+        assert served.lower_bound == 3
+        assert served.clique.polarization == 3
+        _, again = post(server, "/solve", {
+            "graph": {"edges": FACTIONS}, "problem": "pf"})
+        assert again["cache"] == "hit"
+        assert SolveResult.from_json(
+            again["result"]).clique.polarization == 3
+
 
 class TestEdits:
     def _setup(self, server) -> None:
@@ -661,6 +743,58 @@ class TestEdits:
         post(server, "/graphs/g/edits", {"edits": ["flip 0 1"]})
         after = counters(server)
         assert counter_delta(before, after, "serve.edits_applied") == 1
+
+
+class TestEditSolveInterleaving:
+    """The cache key must name the graph version actually solved.
+
+    Regression: the key used to be computed *before* the per-graph
+    lock was acquired, so an edit could slip in between
+    fingerprinting and solving — the post-edit answer was then cached
+    under the pre-edit fingerprint, poisoning every later request for
+    the original content.  The test forces that exact interleaving by
+    pinning the graph lock while a solve is queued on it and editing
+    the live graph in the window.
+    """
+
+    def test_edit_between_request_and_solve_cannot_poison(
+            self, server):
+        status, _ = post(server, "/graphs", {
+            "name": "g", "graph": {"edges": FACTIONS}, "tau": 3})
+        assert status == 200
+        app = server.app
+        registered = app.service.graphs["g"]
+
+        async def hold_lock() -> None:
+            async with app._graph_lock("g"):
+                await asyncio.sleep(1.0)
+
+        holder = server.submit_nowait(hold_lock())
+        results: "list[tuple[int, dict]]" = []
+        thread = threading.Thread(target=lambda: results.append(
+            post(server, "/solve", {
+                "graph": "graph:g", "problem": "mbc", "tau": 3})))
+        thread.start()
+        time.sleep(0.3)  # let the solve queue up on the held lock
+        # Mutate the live graph in the window (the loop is parked on
+        # the lock, so touching the resident solver here is safe).
+        app.service.apply_script(registered, "remove 0 1")
+        holder.result(timeout=30)
+        thread.join(timeout=60)
+        assert len(results) == 1
+        status, body = results[0]
+        assert status == 200
+        # The solve ran against the edited graph and must say so:
+        # removing the positive in-faction edge kills the only 3|3.
+        assert body["fingerprint"] == registered.graph.fingerprint()
+        assert SolveResult.from_json(body["result"]).clique.size == 0
+        # The original content must still answer correctly — a
+        # poisoned cache would replay the post-edit answer here.
+        status, original = post(server, "/solve", {
+            "graph": {"edges": FACTIONS}, "problem": "mbc", "tau": 3})
+        assert status == 200
+        assert SolveResult.from_json(
+            original["result"]).clique.size == 6
 
 
 # -- direct coverage of the blocking core ------------------------------
